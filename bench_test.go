@@ -1,0 +1,84 @@
+// Benchmarks regenerating every table and figure of the evaluation
+// (DESIGN.md §4). Each benchmark runs its experiment driver and logs the
+// resulting table, so `go test -bench=. -benchmem` reproduces the series
+// reported in EXPERIMENTS.md.
+//
+// By default the drivers run at Quick scale so the whole suite finishes in
+// well under a minute; set REXCHANGE_FULL=1 to regenerate the full-scale
+// numbers recorded in EXPERIMENTS.md.
+package rexchange
+
+import (
+	"os"
+	"testing"
+
+	"rexchange/internal/experiments"
+)
+
+// benchScale selects Quick sizing unless REXCHANGE_FULL=1.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Quick: os.Getenv("REXCHANGE_FULL") != "1"}
+}
+
+// runExperiment executes driver b.N times, logging the table once.
+func runExperiment(b *testing.B, driver func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tbl, err := driver(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+		}
+	}
+}
+
+func BenchmarkT1_OptimalityGap(b *testing.B) {
+	runExperiment(b, experiments.T1OptimalityGap)
+}
+
+func BenchmarkT2_EndToEnd(b *testing.B) {
+	runExperiment(b, experiments.T2EndToEnd)
+}
+
+func BenchmarkT3_PlanFeasibility(b *testing.B) {
+	runExperiment(b, experiments.T3PlanFeasibility)
+}
+
+func BenchmarkT4_Replicated(b *testing.B) {
+	runExperiment(b, experiments.T4Replicated)
+}
+
+func BenchmarkF1_ExchangeSweep(b *testing.B) {
+	runExperiment(b, experiments.F1ExchangeSweep)
+}
+
+func BenchmarkF2_TightnessSweep(b *testing.B) {
+	runExperiment(b, experiments.F2TightnessSweep)
+}
+
+func BenchmarkF3_Scalability(b *testing.B) {
+	runExperiment(b, experiments.F3Scalability)
+}
+
+func BenchmarkF4_Convergence(b *testing.B) {
+	runExperiment(b, experiments.F4Convergence)
+}
+
+func BenchmarkF5_LatencySim(b *testing.B) {
+	runExperiment(b, experiments.F5LatencySim)
+}
+
+func BenchmarkF6_OperatorAblation(b *testing.B) {
+	runExperiment(b, experiments.F6OperatorAblation)
+}
+
+func BenchmarkF7_ContinuousRebalance(b *testing.B) {
+	runExperiment(b, experiments.F7ContinuousRebalance)
+}
+
+func BenchmarkF8_ReplicaRouting(b *testing.B) {
+	runExperiment(b, experiments.F8ReplicaRouting)
+}

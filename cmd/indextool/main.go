@@ -1,0 +1,116 @@
+// Command indextool builds, persists, inspects, and queries inverted
+// indexes — the search-engine substrate behind the shard profiles.
+//
+// Usage:
+//
+//	indextool -build -docs 5000 -vocab 10000 -out idx.rxix
+//	indextool -in idx.rxix -stats
+//	indextool -in idx.rxix -query "t1 t7 t42" -k 10
+//	indextool -in idx.rxix -query "t1 t7" -mode and
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rexchange/internal/invindex"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "indextool:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		build = flag.Bool("build", false, "build a synthetic index")
+		docs  = flag.Int("docs", 5000, "documents to generate")
+		vocab = flag.Int("vocab", 10000, "vocabulary size")
+		dlen  = flag.Int("doclen", 60, "mean document length")
+		seed  = flag.Int64("seed", 1, "corpus seed")
+		out   = flag.String("out", "", "write the index here")
+
+		in    = flag.String("in", "", "read an index from here")
+		stats = flag.Bool("stats", false, "print index statistics")
+		query = flag.String("query", "", "space-separated query terms")
+		k     = flag.Int("k", 10, "results per query")
+		mode  = flag.String("mode", "or", "or (DAAT/MaxScore) | and (conjunctive) | taat")
+	)
+	flag.Parse()
+
+	var ix *invindex.Index
+	switch {
+	case *build:
+		corpus, err := invindex.GenerateCorpus(invindex.CorpusConfig{
+			Docs: *docs, Vocab: *vocab, ZipfS: 1.15, MeanDocLen: *dlen, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		ix = invindex.NewIndex()
+		for _, d := range corpus {
+			ix.Add(d)
+		}
+		fmt.Println("built", ix)
+		if *out != "" {
+			if err := ix.SaveFile(*out); err != nil {
+				return err
+			}
+			info, err := os.Stat(*out)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("saved → %s (%d bytes)\n", *out, info.Size())
+		}
+	case *in != "":
+		var err error
+		if ix, err = invindex.LoadIndexFile(*in); err != nil {
+			return err
+		}
+		fmt.Println("loaded", ix)
+	default:
+		return fmt.Errorf("pass -build or -in FILE")
+	}
+
+	if *stats {
+		ci, err := ix.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("docs=%d terms=%d postings=%d avgDocLen=%.1f\n",
+			ix.NumDocs(), ix.NumTerms(), ix.NumPostings(), ix.AvgDocLen())
+		fmt.Printf("postings: %d bytes compressed, %d raw (%.1fx)\n",
+			ci.CompressedBytes(), ci.UncompressedBytes(),
+			float64(ci.UncompressedBytes())/float64(ci.CompressedBytes()))
+	}
+
+	if *query != "" {
+		terms := strings.Fields(*query)
+		var results []invindex.ScoredDoc
+		var st invindex.Stats
+		switch *mode {
+		case "or":
+			results, st = ix.SearchDAAT(terms, *k)
+		case "taat":
+			results, st = ix.SearchTAAT(terms, *k)
+		case "and":
+			ci, err := ix.Compact()
+			if err != nil {
+				return err
+			}
+			results, st = ci.SearchConjunctive(terms, *k)
+		default:
+			return fmt.Errorf("unknown mode %q", *mode)
+		}
+		fmt.Printf("query %v (%s): %d results, %d postings scanned\n",
+			terms, *mode, len(results), st.PostingsScanned)
+		for i, r := range results {
+			fmt.Printf("  %2d. doc %-8d %.4f\n", i+1, r.Doc, r.Score)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Quickstart: the smallest end-to-end use of the library. Build a cluster
+// by hand, borrow one exchange machine, rebalance with SRA, and inspect the
+// move schedule and the machine handed back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/core"
+	"rexchange/internal/vec"
+)
+
+func main() {
+	// Three machines near their static limits; machine 0 is overloaded.
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Name: "web-a", Capacity: vec.New(16, 100, 10), Speed: 1},
+			{ID: 1, Name: "web-b", Capacity: vec.New(16, 100, 10), Speed: 1},
+			{ID: 2, Name: "web-c", Capacity: vec.New(16, 100, 10), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Name: "news", Static: vec.New(8, 50, 4), Load: 9},
+			{ID: 1, Name: "video", Static: vec.New(7, 45, 4), Load: 7},
+			{ID: 2, Name: "images", Static: vec.New(8, 40, 4), Load: 3},
+			{ID: 3, Name: "web-1", Static: vec.New(6, 35, 3), Load: 2},
+			{ID: 4, Name: "web-2", Static: vec.New(7, 30, 3), Load: 1},
+			{ID: 5, Name: "maps", Static: vec.New(5, 30, 3), Load: 2},
+		},
+	}
+	// Current state: hot shards piled on web-a.
+	initial, err := cluster.FromAssignment(c,
+		[]cluster.MachineID{0, 0, 1, 1, 2, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Borrow one vacant exchange machine; SRA must hand one machine back.
+	ec := c.WithExchange(1, vec.New(16, 100, 10), 1)
+	p, err := cluster.FromAssignment(ec, initial.Assignment())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Iterations = 500
+	res, err := core.New(cfg).Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("before:", res.Before)
+	fmt.Println("after: ", res.After)
+	fmt.Println("\nmove schedule (transiently feasible):")
+	for i, mv := range res.Plan.Moves {
+		fmt.Printf("  %2d. move %-7s %s → %s\n", i+1,
+			ec.Shards[mv.S].Name, ec.Machines[mv.From].Name, ec.Machines[mv.To].Name)
+	}
+	fmt.Print("\nreturned as compensation:")
+	for _, m := range res.Returned {
+		fmt.Printf(" %s", ec.Machines[m].Name)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module rexchange
+
+go 1.22

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"rexchange/internal/vec"
+)
+
+// groupCluster builds 3 machines and a replicated shard pair (group 1)
+// plus one free shard.
+func groupCluster() *Cluster {
+	return &Cluster{
+		Machines: []Machine{
+			{ID: 0, Capacity: vec.Uniform(10), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(10), Speed: 1},
+			{ID: 2, Capacity: vec.Uniform(10), Speed: 1},
+		},
+		Shards: []Shard{
+			{ID: 0, Static: vec.Uniform(1), Load: 2, Group: 1},
+			{ID: 1, Static: vec.Uniform(1), Load: 2, Group: 1},
+			{ID: 2, Static: vec.Uniform(1), Load: 1},
+		},
+	}
+}
+
+func TestAntiAffinityCanPlace(t *testing.T) {
+	c := groupCluster()
+	p := NewPlacement(c)
+	if err := p.Place(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanPlace(1, 0) {
+		t.Error("replica must not co-locate with its sibling")
+	}
+	if !p.CanPlace(1, 1) {
+		t.Error("replica should fit on another machine")
+	}
+	if !p.CanPlace(2, 0) {
+		t.Error("ungrouped shard is unaffected by the group")
+	}
+	if p.GroupCount(0, 1) != 1 || p.GroupCount(1, 1) != 0 {
+		t.Errorf("group counts wrong: %d/%d", p.GroupCount(0, 1), p.GroupCount(1, 1))
+	}
+}
+
+func TestAntiAffinityMoveBookkeeping(t *testing.T) {
+	c := groupCluster()
+	p, err := FromAssignment(c, []MachineID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible() {
+		t.Fatal("spread replicas should be feasible")
+	}
+	p.Move(0, 2) // shard 0 joins machine 2 (with ungrouped shard 2) — fine
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanPlace(1, 2) {
+		t.Error("machine 2 now hosts group 1")
+	}
+	p.Move(0, 0) // back
+	if !p.CanPlace(1, 2) {
+		t.Error("group count not released after move away")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleDetectsCollocatedReplicas(t *testing.T) {
+	c := groupCluster()
+	// Force both replicas onto machine 0 via unchecked ops.
+	p, err := FromAssignment(c, []MachineID{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Feasible() {
+		t.Error("co-located replicas must be infeasible")
+	}
+}
+
+func TestCloneCopiesGroups(t *testing.T) {
+	c := groupCluster()
+	p, _ := FromAssignment(c, []MachineID{0, 1, 2})
+	q := p.Clone()
+	q.Move(0, 2)
+	if p.GroupCount(2, 1) != 0 {
+		t.Error("clone group mutation leaked")
+	}
+	if q.GroupCount(2, 1) != 1 {
+		t.Error("clone lost group move")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

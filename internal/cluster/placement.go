@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"rexchange/internal/vec"
+)
+
+// Placement is a (possibly partial) assignment of shards to machines with
+// incrementally maintained per-machine aggregates. All mutating operations
+// are O(1); Clone is O(shards + machines). Placement is not safe for
+// concurrent mutation; parallel searches clone first.
+type Placement struct {
+	c    *Cluster
+	home []MachineID // per shard; Unassigned while removed
+	used []vec.Vec   // per machine: static usage of hosted shards
+	load []float64   // per machine: total load of hosted shards
+	on   [][]ShardID // per machine: hosted shards (unordered)
+	pos  []int       // per shard: index within on[home[s]]
+
+	unassigned int // number of shards with home == Unassigned
+	vacant     int // number of machines hosting no shards
+	// groups[m] counts shards per anti-affinity group on machine m; nil
+	// until a grouped shard lands there.
+	groups []map[int]int
+}
+
+// NewPlacement creates an empty placement (all shards unassigned) for c.
+func NewPlacement(c *Cluster) *Placement {
+	p := &Placement{
+		c:          c,
+		home:       make([]MachineID, len(c.Shards)),
+		used:       make([]vec.Vec, len(c.Machines)),
+		load:       make([]float64, len(c.Machines)),
+		on:         make([][]ShardID, len(c.Machines)),
+		pos:        make([]int, len(c.Shards)),
+		unassigned: len(c.Shards),
+		vacant:     len(c.Machines),
+		groups:     make([]map[int]int, len(c.Machines)),
+	}
+	for i := range p.home {
+		p.home[i] = Unassigned
+	}
+	return p
+}
+
+// FromAssignment creates a placement from an explicit shard→machine mapping.
+// Entries may be Unassigned. Capacity violations are permitted here (the
+// caller may be describing an observed overloaded state); use Feasible to
+// check.
+func FromAssignment(c *Cluster, assign []MachineID) (*Placement, error) {
+	if len(assign) != len(c.Shards) {
+		return nil, fmt.Errorf("cluster: assignment has %d entries for %d shards", len(assign), len(c.Shards))
+	}
+	p := NewPlacement(c)
+	for s, m := range assign {
+		if m == Unassigned {
+			continue
+		}
+		if m < 0 || int(m) >= len(c.Machines) {
+			return nil, fmt.Errorf("cluster: shard %d assigned to invalid machine %d", s, m)
+		}
+		p.place(ShardID(s), m)
+	}
+	return p, nil
+}
+
+// Cluster returns the cluster this placement refers to.
+func (p *Placement) Cluster() *Cluster { return p.c }
+
+// Home returns the machine hosting shard s, or Unassigned.
+func (p *Placement) Home(s ShardID) MachineID { return p.home[s] }
+
+// Assignment returns a copy of the full shard→machine mapping.
+func (p *Placement) Assignment() []MachineID {
+	out := make([]MachineID, len(p.home))
+	copy(out, p.home)
+	return out
+}
+
+// Used returns machine m's current static resource usage.
+func (p *Placement) Used(m MachineID) vec.Vec { return p.used[m] }
+
+// Free returns machine m's remaining static capacity.
+func (p *Placement) Free(m MachineID) vec.Vec {
+	return p.c.Machines[m].Capacity.Sub(p.used[m])
+}
+
+// Load returns machine m's total hosted load.
+func (p *Placement) Load(m MachineID) float64 { return p.load[m] }
+
+// Utilization returns machine m's normalized load (load/speed).
+func (p *Placement) Utilization(m MachineID) float64 {
+	return p.load[m] / p.c.Machines[m].Speed
+}
+
+// Count returns the number of shards hosted on machine m.
+func (p *Placement) Count(m MachineID) int { return len(p.on[m]) }
+
+// ShardsOn returns the shards hosted on machine m. The returned slice is a
+// copy and safe to retain.
+func (p *Placement) ShardsOn(m MachineID) []ShardID {
+	return append([]ShardID(nil), p.on[m]...)
+}
+
+// EachShardOn calls f for every shard on machine m. f must not mutate the
+// placement.
+func (p *Placement) EachShardOn(m MachineID, f func(ShardID)) {
+	for _, s := range p.on[m] {
+		f(s)
+	}
+}
+
+// Unassigned returns the number of shards without a home.
+func (p *Placement) UnassignedCount() int { return p.unassigned }
+
+// IsVacant reports whether machine m hosts no shards.
+func (p *Placement) IsVacant(m MachineID) bool { return len(p.on[m]) == 0 }
+
+// NumVacant returns the number of machines hosting no shards, maintained in
+// O(1) for the solver's vacancy-budget checks.
+func (p *Placement) NumVacant() int { return p.vacant }
+
+// VacantMachines returns the IDs of all machines hosting no shards.
+func (p *Placement) VacantMachines() []MachineID {
+	var ids []MachineID
+	for m := range p.on {
+		if len(p.on[m]) == 0 {
+			ids = append(ids, MachineID(m))
+		}
+	}
+	return ids
+}
+
+// CanPlace reports whether shard s fits on machine m: static capacities
+// must hold and no replica of the same anti-affinity group may already be
+// hosted there.
+func (p *Placement) CanPlace(s ShardID, m MachineID) bool {
+	sh := &p.c.Shards[s]
+	if sh.Group != 0 && p.groups[m][sh.Group] > 0 {
+		return false
+	}
+	return sh.Static.FitsWithin(p.used[m], p.c.Machines[m].Capacity)
+}
+
+// GroupCount returns how many shards of anti-affinity group g machine m
+// hosts.
+func (p *Placement) GroupCount(m MachineID, g int) int {
+	return p.groups[m][g]
+}
+
+// place links shard s to machine m, updating aggregates. It assumes s is
+// currently unassigned.
+func (p *Placement) place(s ShardID, m MachineID) {
+	sh := &p.c.Shards[s]
+	p.home[s] = m
+	p.used[m] = p.used[m].Add(sh.Static)
+	p.load[m] += sh.Load
+	p.pos[s] = len(p.on[m])
+	if len(p.on[m]) == 0 {
+		p.vacant--
+	}
+	p.on[m] = append(p.on[m], s)
+	if sh.Group != 0 {
+		if p.groups[m] == nil {
+			p.groups[m] = make(map[int]int)
+		}
+		p.groups[m][sh.Group]++
+	}
+	p.unassigned--
+}
+
+// unplace unlinks shard s from its machine, updating aggregates. It assumes
+// s is currently assigned.
+func (p *Placement) unplace(s ShardID) {
+	m := p.home[s]
+	sh := &p.c.Shards[s]
+	p.used[m] = p.used[m].Sub(sh.Static)
+	p.load[m] -= sh.Load
+	// swap-remove from on[m]
+	i := p.pos[s]
+	last := len(p.on[m]) - 1
+	moved := p.on[m][last]
+	p.on[m][i] = moved
+	p.pos[moved] = i
+	p.on[m] = p.on[m][:last]
+	if last == 0 {
+		p.vacant++
+	}
+	if sh.Group != 0 {
+		p.groups[m][sh.Group]--
+		if p.groups[m][sh.Group] == 0 {
+			delete(p.groups[m], sh.Group)
+		}
+	}
+	p.home[s] = Unassigned
+	p.unassigned++
+}
+
+// Place assigns unassigned shard s to machine m without checking capacity.
+// It returns an error if s is already assigned.
+func (p *Placement) Place(s ShardID, m MachineID) error {
+	if p.home[s] != Unassigned {
+		return fmt.Errorf("cluster: shard %d already on machine %d", s, p.home[s])
+	}
+	p.place(s, m)
+	return nil
+}
+
+// PlaceChecked assigns unassigned shard s to m only if it fits; it reports
+// whether the placement happened.
+func (p *Placement) PlaceChecked(s ShardID, m MachineID) bool {
+	if p.home[s] != Unassigned || !p.CanPlace(s, m) {
+		return false
+	}
+	p.place(s, m)
+	return true
+}
+
+// Remove unassigns shard s. It returns an error if s is already unassigned.
+func (p *Placement) Remove(s ShardID) error {
+	if p.home[s] == Unassigned {
+		return fmt.Errorf("cluster: shard %d is not assigned", s)
+	}
+	p.unplace(s)
+	return nil
+}
+
+// Move reassigns shard s to machine m (unchecked). Moving to its current
+// machine is a no-op.
+func (p *Placement) Move(s ShardID, m MachineID) {
+	if p.home[s] == m {
+		return
+	}
+	if p.home[s] != Unassigned {
+		p.unplace(s)
+	}
+	p.place(s, m)
+}
+
+// MoveChecked reassigns shard s to machine m only if m has room; it reports
+// whether the move happened.
+func (p *Placement) MoveChecked(s ShardID, m MachineID) bool {
+	if p.home[s] == m {
+		return true
+	}
+	if !p.CanPlace(s, m) {
+		return false
+	}
+	p.Move(s, m)
+	return true
+}
+
+// Clone returns a deep copy sharing the (immutable) cluster.
+func (p *Placement) Clone() *Placement {
+	q := &Placement{
+		c:          p.c,
+		home:       append([]MachineID(nil), p.home...),
+		used:       append([]vec.Vec(nil), p.used...),
+		load:       append([]float64(nil), p.load...),
+		on:         make([][]ShardID, len(p.on)),
+		pos:        append([]int(nil), p.pos...),
+		unassigned: p.unassigned,
+		vacant:     p.vacant,
+		groups:     make([]map[int]int, len(p.groups)),
+	}
+	for m := range p.on {
+		q.on[m] = append([]ShardID(nil), p.on[m]...)
+		if len(p.groups[m]) > 0 {
+			g := make(map[int]int, len(p.groups[m]))
+			for k, v := range p.groups[m] {
+				g[k] = v
+			}
+			q.groups[m] = g
+		}
+	}
+	return q
+}
+
+// Feasible reports whether every machine's static usage is within
+// capacity, every shard is assigned, and no machine hosts two replicas of
+// the same anti-affinity group.
+func (p *Placement) Feasible() bool {
+	if p.unassigned > 0 {
+		return false
+	}
+	for m := range p.used {
+		if !p.used[m].LEQ(p.c.Machines[m].Capacity.Add(vec.Uniform(1e-9))) {
+			return false
+		}
+		for _, n := range p.groups[m] {
+			if n > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate recomputes all aggregates from scratch and compares them with
+// the incrementally maintained state, returning an error on any mismatch.
+// It is used by tests and by debug assertions in the solver.
+func (p *Placement) Validate() error {
+	used := make([]vec.Vec, len(p.c.Machines))
+	load := make([]float64, len(p.c.Machines))
+	count := make([]int, len(p.c.Machines))
+	unassigned := 0
+	for s := range p.home {
+		m := p.home[s]
+		if m == Unassigned {
+			unassigned++
+			continue
+		}
+		sh := &p.c.Shards[s]
+		used[m] = used[m].Add(sh.Static)
+		load[m] += sh.Load
+		count[m]++
+	}
+	if unassigned != p.unassigned {
+		return fmt.Errorf("cluster: unassigned count %d, recomputed %d", p.unassigned, unassigned)
+	}
+	vacant := 0
+	for m := range p.on {
+		if len(p.on[m]) == 0 {
+			vacant++
+		}
+	}
+	if vacant != p.vacant {
+		return fmt.Errorf("cluster: vacant count %d, recomputed %d", p.vacant, vacant)
+	}
+	for m := range used {
+		if !used[m].AlmostEqual(p.used[m], 1e-6) {
+			return fmt.Errorf("cluster: machine %d used %v, recomputed %v", m, p.used[m], used[m])
+		}
+		if math.Abs(load[m]-p.load[m]) > 1e-6 {
+			return fmt.Errorf("cluster: machine %d load %g, recomputed %g", m, p.load[m], load[m])
+		}
+		if count[m] != len(p.on[m]) {
+			return fmt.Errorf("cluster: machine %d hosts %d shards, recomputed %d", m, len(p.on[m]), count[m])
+		}
+	}
+	for m := range p.on {
+		for i, s := range p.on[m] {
+			if p.home[s] != MachineID(m) {
+				return fmt.Errorf("cluster: shard %d in on[%d] but home=%d", s, m, p.home[s])
+			}
+			if p.pos[s] != i {
+				return fmt.Errorf("cluster: shard %d pos %d, want %d", s, p.pos[s], i)
+			}
+		}
+	}
+	groups := make([]map[int]int, len(p.c.Machines))
+	for s := range p.home {
+		m := p.home[s]
+		g := p.c.Shards[s].Group
+		if m == Unassigned || g == 0 {
+			continue
+		}
+		if groups[m] == nil {
+			groups[m] = make(map[int]int)
+		}
+		groups[m][g]++
+	}
+	for m := range groups {
+		for g, n := range groups[m] {
+			if p.groups[m][g] != n {
+				return fmt.Errorf("cluster: machine %d group %d count %d, recomputed %d",
+					m, g, p.groups[m][g], n)
+			}
+		}
+		for g, n := range p.groups[m] {
+			if n != 0 && groups[m][g] != n {
+				return fmt.Errorf("cluster: machine %d group %d stale count %d", m, g, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Utilizations returns every machine's load/speed as a slice (index =
+// MachineID). Exchange machines are included.
+func (p *Placement) Utilizations() []float64 {
+	out := make([]float64, len(p.c.Machines))
+	for m := range out {
+		out[m] = p.load[m] / p.c.Machines[m].Speed
+	}
+	return out
+}
+
+// placementJSON is the serialized form of a placement: the cluster plus the
+// assignment vector.
+type placementJSON struct {
+	Cluster    *Cluster    `json:"cluster"`
+	Assignment []MachineID `json:"assignment"`
+}
+
+// Save writes the placement (cluster + assignment) as JSON to w.
+func (p *Placement) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(placementJSON{Cluster: p.c, Assignment: p.home})
+}
+
+// SaveFile writes the placement as JSON to path.
+func (p *Placement) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("cluster: save placement: %w", err)
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return fmt.Errorf("cluster: save placement %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadPlacement reads a placement (cluster + assignment) from r.
+func LoadPlacement(r io.Reader) (*Placement, error) {
+	var pj placementJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("cluster: load placement: %w", err)
+	}
+	if pj.Cluster == nil {
+		return nil, fmt.Errorf("cluster: load placement: missing cluster")
+	}
+	if err := pj.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	return FromAssignment(pj.Cluster, pj.Assignment)
+}
+
+// LoadPlacementFile reads a placement from path.
+func LoadPlacementFile(path string) (*Placement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: load placement: %w", err)
+	}
+	defer f.Close()
+	return LoadPlacement(f)
+}

@@ -1,0 +1,271 @@
+// Package core implements SRA — the Shard Reassignment Algorithm of
+// "Improving Load Balance via Resource Exchange in Large-Scale Search
+// Engines" (ICPP 2020) — a large neighborhood search (LNS) that rebalances
+// query load across a shard-per-machine placement under static capacity
+// constraints, a transient-resource move model, and the paper's resource
+// exchange contract: K borrowed, initially vacant machines may be used
+// freely, but K completely vacant machines must be handed back afterwards
+// (not necessarily the borrowed ones).
+//
+// The solver keeps a complete placement at all times and enforces a
+// vacancy budget: a shard may be placed on a vacant machine only while at
+// least K other machines remain vacant. Destroy operators remove a batch of
+// shards (randomly, from the hottest machines, by similarity, or by
+// draining whole machines to free them for return); repair operators
+// reinsert them (greedy best-fit or regret-2); simulated annealing governs
+// acceptance. The final reassignment is compiled into a transiently
+// feasible move schedule by internal/plan.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/metrics"
+	"rexchange/internal/plan"
+)
+
+// OperatorSet toggles individual LNS operators, primarily for the F6
+// ablation experiment. The zero value disables everything; use
+// AllOperators for the full algorithm.
+type OperatorSet struct {
+	RandomRemove  bool // uniform random shard removal
+	WorstRemove   bool // remove hot shards from the most utilized machines
+	RelatedRemove bool // Shaw removal: similar load/static profiles
+	DrainRemove   bool // empty a whole machine (enables returning it)
+
+	GreedyRepair bool // best-fit insertion, hardest shard first
+	RegretRepair bool // regret-2 insertion
+}
+
+// AllOperators enables the complete operator portfolio.
+func AllOperators() OperatorSet {
+	return OperatorSet{
+		RandomRemove: true, WorstRemove: true, RelatedRemove: true, DrainRemove: true,
+		GreedyRepair: true, RegretRepair: true,
+	}
+}
+
+// anyDestroy reports whether at least one destroy operator is enabled.
+func (o OperatorSet) anyDestroy() bool {
+	return o.RandomRemove || o.WorstRemove || o.RelatedRemove || o.DrainRemove
+}
+
+// anyRepair reports whether at least one repair operator is enabled.
+func (o OperatorSet) anyRepair() bool { return o.GreedyRepair || o.RegretRepair }
+
+// Config parameterizes the solver.
+type Config struct {
+	// Iterations is the LNS iteration budget.
+	Iterations int
+	// Seed drives all solver randomness.
+	Seed int64
+
+	// DestroyFrac is the fraction of the shard population removed per
+	// iteration, clamped to [MinDestroy, MaxDestroy].
+	DestroyFrac            float64
+	MinDestroy, MaxDestroy int
+
+	// TempFrac sets the initial simulated-annealing temperature as a
+	// fraction of the starting objective; EndTempFrac the final one.
+	// HillClimb disables annealing entirely (accept only improvements).
+	TempFrac, EndTempFrac float64
+	HillClimb             bool
+
+	// SpreadWeight weights the RMS-utilization term that breaks ties below
+	// the maximum; MovePenalty charges (scaled) reassignment volume so the
+	// solver prefers cheaper rebalances among equals.
+	SpreadWeight, MovePenalty float64
+
+	// ReturnCount is K, the number of vacant machines to hand back.
+	// Negative means "infer": the number of Exchange-flagged machines in
+	// the cluster.
+	ReturnCount int
+
+	// Operators selects the LNS operator portfolio.
+	Operators OperatorSet
+	// Adaptive enables ALNS-style roulette selection with learned operator
+	// weights; otherwise operators are drawn uniformly.
+	Adaptive bool
+
+	// Planner builds the final move schedule.
+	Planner plan.Planner
+	// KeepTrajectory records the best objective after every iteration
+	// (experiment F4).
+	KeepTrajectory bool
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Iterations:   2500,
+		Seed:         1,
+		DestroyFrac:  0.06,
+		MinDestroy:   4,
+		MaxDestroy:   80,
+		TempFrac:     0.03,
+		EndTempFrac:  0.0005,
+		SpreadWeight: 0.10,
+		MovePenalty:  0.02,
+		ReturnCount:  -1,
+		Operators:    AllOperators(),
+		Adaptive:     true,
+		Planner:      plan.DefaultPlanner(),
+	}
+}
+
+// Result is the outcome of one SRA run.
+type Result struct {
+	// Final is the chosen placement (the best found whose move schedule
+	// is transiently feasible).
+	Final *cluster.Placement
+	// Plan is the transiently feasible move schedule realizing Final from
+	// the initial placement.
+	Plan *plan.Plan
+	// Returned lists the K machines handed back as compensation; they are
+	// vacant in Final.
+	Returned []cluster.MachineID
+	// Before/After summarize balance quality.
+	Before, After metrics.Report
+	// Objective is the solver objective of Final.
+	Objective float64
+	// MovedShards counts shards whose final machine differs from the
+	// initial one.
+	MovedShards int
+	// Iterations, Accepted, RepairFailures, PlanFallbacks report search
+	// behaviour.
+	Iterations     int
+	Accepted       int
+	RepairFailures int
+	PlanFallbacks  int
+	// Trajectory is the best objective after each iteration when
+	// Config.KeepTrajectory is set.
+	Trajectory []float64
+}
+
+// Solver runs SRA with a fixed configuration.
+type Solver struct {
+	cfg Config
+}
+
+// New creates a Solver. The configuration is validated lazily in Solve.
+func New(cfg Config) *Solver { return &Solver{cfg: cfg} }
+
+// validate checks and normalizes the configuration against an instance.
+func (cfg *Config) validate(p *cluster.Placement) (int, error) {
+	if p.UnassignedCount() > 0 {
+		return 0, fmt.Errorf("core: initial placement has %d unassigned shards", p.UnassignedCount())
+	}
+	if !p.Feasible() {
+		return 0, fmt.Errorf("core: initial placement violates static capacities")
+	}
+	if cfg.Iterations <= 0 {
+		return 0, fmt.Errorf("core: Iterations must be positive")
+	}
+	if !cfg.Operators.anyDestroy() || !cfg.Operators.anyRepair() {
+		return 0, fmt.Errorf("core: operator set needs at least one destroy and one repair operator")
+	}
+	k := cfg.ReturnCount
+	if k < 0 {
+		k = len(p.Cluster().ExchangeMachines())
+	}
+	if p.NumVacant() < k {
+		return 0, fmt.Errorf("core: initial placement has %d vacant machines, need ≥ K=%d", p.NumVacant(), k)
+	}
+	if cfg.MinDestroy <= 0 {
+		cfg.MinDestroy = 2
+	}
+	if cfg.MaxDestroy < cfg.MinDestroy {
+		cfg.MaxDestroy = cfg.MinDestroy
+	}
+	return k, nil
+}
+
+// Solve rebalances the given placement. The input is not modified. The
+// cluster referenced by p should already include any borrowed exchange
+// machines (see cluster.WithExchange); K is inferred from it unless
+// Config.ReturnCount overrides.
+func (sv *Solver) Solve(p *cluster.Placement) (*Result, error) {
+	cfg := sv.cfg
+	k, err := cfg.validate(p)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(cfg, p, k)
+	st.run()
+	return st.finish()
+}
+
+// Evaluate exposes the solver objective for a placement, for tests and the
+// experiment harness. initial supplies the reference assignment for the
+// move penalty; pass nil to skip it.
+func Evaluate(cfg Config, p *cluster.Placement, initial []cluster.MachineID) float64 {
+	return objective(p, cfg.SpreadWeight, cfg.MovePenalty, initial)
+}
+
+// pickReturned chooses the K machines to hand back: vacant machines,
+// preferring the borrowed exchange machines themselves, then the vacant
+// machines with the smallest serving speed (least valuable to keep).
+func pickReturned(p *cluster.Placement, k int) []cluster.MachineID {
+	c := p.Cluster()
+	vacant := p.VacantMachines()
+	// stable selection: exchange first, then ascending speed, then ID
+	sortMachines(vacant, func(a, b cluster.MachineID) bool {
+		ea, eb := c.Machines[a].Exchange, c.Machines[b].Exchange
+		if ea != eb {
+			return ea
+		}
+		if c.Machines[a].Speed != c.Machines[b].Speed {
+			return c.Machines[a].Speed < c.Machines[b].Speed
+		}
+		return a < b
+	})
+	if k > len(vacant) {
+		k = len(vacant) // guarded by the solver invariant; defensive only
+	}
+	return vacant[:k]
+}
+
+// sortMachines sorts ids by less (insertion sort: the slices are short and
+// this avoids a sort.Slice closure allocation on the hot path).
+func sortMachines(ids []cluster.MachineID, less func(a, b cluster.MachineID) bool) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// tempAt returns the SA temperature for iteration i of n, geometrically
+// interpolated between t0 and tEnd.
+func tempAt(t0, tEnd float64, i, n int) float64 {
+	if t0 <= 0 {
+		return 0
+	}
+	if tEnd <= 0 {
+		tEnd = t0 * 1e-3
+	}
+	frac := float64(i) / math.Max(1, float64(n-1))
+	return t0 * math.Pow(tEnd/t0, frac)
+}
+
+// rouletteIndex draws an index proportionally to weights.
+func rouletteIndex(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

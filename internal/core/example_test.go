@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/core"
+	"rexchange/internal/vec"
+)
+
+// Example demonstrates the complete resource-exchange flow on a toy
+// cluster: two machines at their static limits cannot swap shards in
+// place; borrowing one vacant machine makes the rebalance schedulable, and
+// one vacant machine is handed back afterwards.
+func Example() {
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(4), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(4), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(4), Load: 8},
+			{ID: 1, Static: vec.Uniform(4), Load: 2},
+		},
+	}
+	// Borrow one exchange machine.
+	ec := c.WithExchange(1, vec.Uniform(4), 1)
+	p, err := cluster.FromAssignment(ec, []cluster.MachineID{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Iterations = 200
+	res, err := core.New(cfg).Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v\n", res.Final.Feasible())
+	fmt.Printf("returned machines: %d\n", len(res.Returned))
+	fmt.Printf("schedule is transiently valid: %v\n", func() bool {
+		_, err := res.Plan.Validate(p)
+		return err == nil
+	}())
+	// Output:
+	// feasible: true
+	// returned machines: 1
+	// schedule is transiently valid: true
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+
+	"rexchange/internal/cluster"
+)
+
+// objective scores a placement: lower is better.
+//
+//	obj = maxUtil + spreadWeight·rmsUtil + movePenalty·movedFraction
+//
+// maxUtil (the normalized makespan over serving machines) is the paper's
+// IP objective T; the RMS term orders solutions with equal maxima by how
+// evenly the remaining load is spread; the move term charges reassignment
+// volume relative to initial (nil initial disables it). Vacant machines
+// serve nothing and are excluded.
+func objective(p *cluster.Placement, spreadWeight, movePenalty float64, initial []cluster.MachineID) float64 {
+	c := p.Cluster()
+	maxU := 0.0
+	sumSq := 0.0
+	serving := 0
+	for m := 0; m < c.NumMachines(); m++ {
+		id := cluster.MachineID(m)
+		if p.IsVacant(id) {
+			continue
+		}
+		u := p.Load(id) / c.Machines[m].Speed
+		if u > maxU {
+			maxU = u
+		}
+		sumSq += u * u
+		serving++
+	}
+	obj := maxU
+	if serving > 0 {
+		obj += spreadWeight * math.Sqrt(sumSq/float64(serving))
+	}
+	if initial != nil && movePenalty > 0 && c.NumShards() > 0 {
+		moved := 0
+		for s := range initial {
+			if p.Home(cluster.ShardID(s)) != initial[s] {
+				moved++
+			}
+		}
+		obj += movePenalty * float64(moved) / float64(c.NumShards())
+	}
+	return obj
+}
+
+// movedCount counts shards whose home differs from the initial assignment.
+func movedCount(p *cluster.Placement, initial []cluster.MachineID) int {
+	moved := 0
+	for s := range initial {
+		if p.Home(cluster.ShardID(s)) != initial[s] {
+			moved++
+		}
+	}
+	return moved
+}

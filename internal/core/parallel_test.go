@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSolveParallelAtLeastAsGoodAsSingle(t *testing.T) {
+	p := smallInstance(t, 55, 2)
+	cfg := quickConfig()
+	cfg.Iterations = 200
+	single, err := New(cfg).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := New(cfg).SolveParallel(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// restart 0 uses the base seed, so the portfolio includes the single
+	// run: the best of the portfolio cannot be worse.
+	if multi.Objective > single.Objective+1e-12 {
+		t.Errorf("parallel best %v worse than single %v", multi.Objective, single.Objective)
+	}
+	if !multi.Final.Feasible() {
+		t.Error("parallel result infeasible")
+	}
+	if _, err := multi.Plan.Validate(p); err != nil {
+		t.Errorf("parallel result plan invalid: %v", err)
+	}
+}
+
+func TestSolveParallelDeterministic(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Iterations = 150
+	a, err := New(cfg).SolveParallel(smallInstance(t, 56, 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg).SolveParallel(smallInstance(t, 56, 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.MovedShards != b.MovedShards {
+		t.Errorf("non-deterministic: %v/%d vs %v/%d",
+			a.Objective, a.MovedShards, b.Objective, b.MovedShards)
+	}
+}
+
+func TestSolveParallelInputUntouched(t *testing.T) {
+	p := smallInstance(t, 57, 1)
+	before := p.Assignment()
+	cfg := quickConfig()
+	cfg.Iterations = 100
+	if _, err := New(cfg).SolveParallel(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	for s, m := range p.Assignment() {
+		if before[s] != m {
+			t.Fatal("parallel solve mutated input")
+		}
+	}
+}
+
+func TestSolveParallelSingleRestartDelegates(t *testing.T) {
+	p := smallInstance(t, 58, 1)
+	cfg := quickConfig()
+	cfg.Iterations = 100
+	a, err := New(cfg).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg).SolveParallel(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective {
+		t.Errorf("restarts=1 should equal Solve: %v vs %v", a.Objective, b.Objective)
+	}
+}
+
+func TestSolveParallelPropagatesErrors(t *testing.T) {
+	p := smallInstance(t, 59, 1)
+	q := p.Clone()
+	if err := q.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(quickConfig()).SolveParallel(q, 3); err == nil {
+		t.Error("expected error for partial placement")
+	}
+}

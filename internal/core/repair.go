@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"rexchange/internal/cluster"
+)
+
+// canInsert reports whether shard s may be placed on machine m: static
+// capacity must hold, and — the resource-exchange contract — occupying a
+// currently vacant machine is allowed only while more than K machines are
+// vacant, so that K can still be returned.
+func (st *state) canInsert(s cluster.ShardID, m cluster.MachineID) bool {
+	if st.cur.IsVacant(m) && st.cur.NumVacant() <= st.k {
+		return false
+	}
+	return st.cur.CanPlace(s, m)
+}
+
+// insertCost is the utilization machine m would reach after hosting s —
+// the greedy criterion that directly minimizes the makespan objective.
+func (st *state) insertCost(s cluster.ShardID, m cluster.MachineID) float64 {
+	c := st.cur.Cluster()
+	return (st.cur.Load(m) + c.Shards[s].Load) / c.Machines[m].Speed
+}
+
+// bestMachineFor scans all machines for the cheapest feasible insertion of
+// s, breaking cost ties toward the machine with more static slack (to keep
+// future insertions feasible). Returns Unassigned when nothing fits.
+func (st *state) bestMachineFor(s cluster.ShardID) (cluster.MachineID, float64) {
+	c := st.cur.Cluster()
+	best := cluster.Unassigned
+	bestCost := math.Inf(1)
+	bestSlack := -1.0
+	for m := 0; m < c.NumMachines(); m++ {
+		id := cluster.MachineID(m)
+		if !st.canInsert(s, id) {
+			continue
+		}
+		cost := st.insertCost(s, id)
+		if cost < bestCost-1e-12 {
+			best, bestCost = id, cost
+			bestSlack = st.cur.Free(id).MaxDim()
+		} else if cost <= bestCost+1e-12 {
+			if slack := st.cur.Free(id).MaxDim(); slack > bestSlack {
+				best, bestSlack = id, slack
+			}
+		}
+	}
+	return best, bestCost
+}
+
+// repairGreedy inserts the pool hardest-first (largest load, then largest
+// static footprint) at each shard's cheapest feasible machine. Returns
+// false when some shard fits nowhere (caller restores the snapshot).
+func (st *state) repairGreedy() bool {
+	c := st.cur.Cluster()
+	sort.Slice(st.pool, func(i, j int) bool {
+		a, b := &c.Shards[st.pool[i]], &c.Shards[st.pool[j]]
+		if a.Load != b.Load {
+			return a.Load > b.Load
+		}
+		if am, bm := a.Static.MaxDim(), b.Static.MaxDim(); am != bm {
+			return am > bm
+		}
+		return st.pool[i] < st.pool[j]
+	})
+	for _, s := range st.pool {
+		m, _ := st.bestMachineFor(s)
+		if m == cluster.Unassigned {
+			return false
+		}
+		if err := st.cur.Place(s, m); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// repairRegret is regret-2 insertion: always commit the shard whose best
+// option beats its second-best by the most (it has the most to lose by
+// waiting). To keep the O(pool²·machines) cost in check on large fleets,
+// each evaluation scans a candidate subset — the lowest-utilization
+// machines plus random extras — and falls back to a full scan only when
+// the subset yields nothing feasible.
+func (st *state) repairRegret() bool {
+	remaining := append([]cluster.ShardID(nil), st.pool...)
+	for len(remaining) > 0 {
+		cands := st.candidateMachines()
+		bestIdx := -1
+		var bestM cluster.MachineID
+		bestRegret := -1.0
+		bestCost := math.Inf(1)
+		for i, s := range remaining {
+			m1, m2 := cluster.Unassigned, cluster.Unassigned
+			c1, c2 := math.Inf(1), math.Inf(1)
+			consider := func(id cluster.MachineID) {
+				if !st.canInsert(s, id) {
+					return
+				}
+				cost := st.insertCost(s, id)
+				switch {
+				case cost < c1:
+					m2, c2 = m1, c1
+					m1, c1 = id, cost
+				case cost < c2:
+					m2, c2 = id, cost
+				}
+			}
+			for _, id := range cands {
+				consider(id)
+			}
+			if m1 == cluster.Unassigned {
+				// candidate subset failed: full scan for this shard
+				var full float64
+				m1, full = st.bestMachineFor(s)
+				if m1 == cluster.Unassigned {
+					return false
+				}
+				c1 = full
+				c2 = math.Inf(1)
+			}
+			_ = m2
+			regret := c2 - c1
+			if math.IsInf(regret, 1) {
+				regret = 1e18 - c1 // single option: place before it disappears
+			}
+			if regret > bestRegret {
+				bestIdx, bestM, bestRegret, bestCost = i, m1, regret, c1
+			}
+		}
+		_ = bestCost
+		if bestIdx < 0 {
+			return false
+		}
+		s := remaining[bestIdx]
+		if err := st.cur.Place(s, bestM); err != nil {
+			return false
+		}
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return true
+}
+
+// candidateMachines returns the insertion-candidate subset used by
+// repairRegret: the 24 lowest-utilization machines plus 8 random ones (all
+// machines when the fleet is small).
+func (st *state) candidateMachines() []cluster.MachineID {
+	c := st.cur.Cluster()
+	n := c.NumMachines()
+	const lowCount, randCount = 24, 8
+	if n <= lowCount+randCount {
+		all := make([]cluster.MachineID, n)
+		for i := range all {
+			all[i] = cluster.MachineID(i)
+		}
+		return all
+	}
+	ids := make([]cluster.MachineID, n)
+	for i := range ids {
+		ids[i] = cluster.MachineID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ui, uj := st.cur.Utilization(ids[i]), st.cur.Utilization(ids[j])
+		if ui != uj {
+			return ui < uj
+		}
+		return ids[i] < ids[j]
+	})
+	out := append([]cluster.MachineID(nil), ids[:lowCount]...)
+	for i := 0; i < randCount; i++ {
+		out = append(out, ids[lowCount+st.rng.Intn(n-lowCount)])
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+	"rexchange/internal/workload"
+)
+
+// TestSolveRespectsAntiAffinity rebalances a replicated instance and
+// verifies no machine ever hosts two replicas of one group — in the final
+// placement and at every step of the move schedule.
+func TestSolveRespectsAntiAffinity(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Machines = 12
+	cfg.Shards = 50
+	cfg.Replicas = 2
+	cfg.TargetFill = 0.7
+	cfg.Seed = 3
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := inst.Cluster.WithExchange(2, vec.Uniform(100), 1)
+	p, err := cluster.FromAssignment(ec, inst.Placement.Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := DefaultConfig()
+	sc.Iterations = 400
+	res, err := New(sc).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.Feasible() {
+		t.Fatal("final placement violates feasibility (incl. anti-affinity)")
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// replay the schedule checking anti-affinity at every intermediate step
+	w := p.Clone()
+	for i, mv := range res.Plan.Moves {
+		if !w.CanPlace(mv.S, mv.To) {
+			t.Fatalf("step %d violates capacity or anti-affinity", i)
+		}
+		w.Move(mv.S, mv.To)
+		if !groupsOK(w) {
+			t.Fatalf("step %d co-located replicas", i)
+		}
+	}
+	if res.After.MaxUtil > res.Before.MaxUtil {
+		t.Error("replicated rebalance did not improve")
+	}
+}
+
+// groupsOK verifies no machine hosts two shards of the same group.
+func groupsOK(p *cluster.Placement) bool {
+	c := p.Cluster()
+	for m := 0; m < c.NumMachines(); m++ {
+		seen := map[int]bool{}
+		bad := false
+		p.EachShardOn(cluster.MachineID(m), func(s cluster.ShardID) {
+			g := c.Shards[s].Group
+			if g == 0 {
+				return
+			}
+			if seen[g] {
+				bad = true
+			}
+			seen[g] = true
+		})
+		if bad {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/metrics"
+	"rexchange/internal/plan"
+)
+
+// state carries one Solve invocation.
+type state struct {
+	cfg Config
+	k   int
+	rng *rand.Rand
+
+	initialP *cluster.Placement  // untouched starting placement
+	initial  []cluster.MachineID // starting assignment (move-penalty reference)
+
+	cur    *cluster.Placement
+	curObj float64
+
+	best    *cluster.Placement
+	bestObj float64
+	// improving records every new-best placement in discovery order, so
+	// finish() can fall back to an earlier (more conservative) solution if
+	// the very best one has no transiently feasible schedule.
+	improving []*cluster.Placement
+
+	destroyOps []destroyOp
+	repairOps  []repairOp
+	dWeights   []float64
+	rWeights   []float64
+
+	pool []cluster.ShardID // shards removed by the current destroy
+
+	trajectory     []float64
+	accepted       int
+	repairFailures int
+	planFallbacks  int
+}
+
+type destroyOp struct {
+	name string
+	fn   func(*state, int)
+}
+
+type repairOp struct {
+	name string
+	fn   func(*state) bool
+}
+
+func newState(cfg Config, p *cluster.Placement, k int) *state {
+	st := &state{
+		cfg:      cfg,
+		k:        k,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		initialP: p,
+		initial:  p.Assignment(),
+		cur:      p.Clone(),
+	}
+	if cfg.Operators.RandomRemove {
+		st.destroyOps = append(st.destroyOps, destroyOp{"random", (*state).destroyRandom})
+	}
+	if cfg.Operators.WorstRemove {
+		st.destroyOps = append(st.destroyOps, destroyOp{"worst", (*state).destroyWorst})
+	}
+	if cfg.Operators.RelatedRemove {
+		st.destroyOps = append(st.destroyOps, destroyOp{"related", (*state).destroyRelated})
+	}
+	if cfg.Operators.DrainRemove {
+		st.destroyOps = append(st.destroyOps, destroyOp{"drain", (*state).destroyDrain})
+	}
+	if cfg.Operators.GreedyRepair {
+		st.repairOps = append(st.repairOps, repairOp{"greedy", (*state).repairGreedy})
+	}
+	if cfg.Operators.RegretRepair {
+		st.repairOps = append(st.repairOps, repairOp{"regret", (*state).repairRegret})
+	}
+	st.dWeights = uniformWeights(len(st.destroyOps))
+	st.rWeights = uniformWeights(len(st.repairOps))
+	return st
+}
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// run executes the LNS loop.
+func (st *state) run() {
+	cfg := st.cfg
+	st.curObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+	st.best = st.cur.Clone()
+	st.bestObj = st.curObj
+	st.improving = append(st.improving, st.best)
+
+	t0 := cfg.TempFrac * st.curObj
+	tEnd := cfg.EndTempFrac * st.curObj
+
+	n := st.cur.Cluster().NumShards()
+	baseQ := int(cfg.DestroyFrac * float64(n))
+	if baseQ < cfg.MinDestroy {
+		baseQ = cfg.MinDestroy
+	}
+	if baseQ > cfg.MaxDestroy {
+		baseQ = cfg.MaxDestroy
+	}
+
+	if cfg.KeepTrajectory {
+		st.trajectory = make([]float64, 0, cfg.Iterations)
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		snap := st.cur.Clone()
+
+		// destroy size: jitter around baseQ in [MinDestroy, MaxDestroy]
+		q := cfg.MinDestroy
+		if baseQ > cfg.MinDestroy {
+			q += st.rng.Intn(baseQ - cfg.MinDestroy + 1)
+		}
+		if q > n {
+			q = n
+		}
+
+		di := st.pickOp(st.dWeights)
+		ri := st.pickOp(st.rWeights)
+
+		st.pool = st.pool[:0]
+		st.destroyOps[di].fn(st, q)
+		ok := st.repairOps[ri].fn(st)
+
+		reward := 0.0
+		if !ok {
+			st.cur = snap
+			st.repairFailures++
+		} else {
+			newObj := objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+			accept := newObj <= st.curObj+1e-12
+			if !accept && !cfg.HillClimb {
+				t := tempAt(t0, tEnd, it, cfg.Iterations)
+				if t > 0 {
+					accept = st.rng.Float64() < math.Exp(-(newObj-st.curObj)/t)
+				}
+			}
+			if accept {
+				st.accepted++
+				improvedCur := newObj < st.curObj
+				st.curObj = newObj
+				switch {
+				case newObj < st.bestObj-1e-12:
+					st.best = st.cur.Clone()
+					st.bestObj = newObj
+					st.improving = append(st.improving, st.best)
+					reward = 3
+				case improvedCur:
+					reward = 1
+				default:
+					reward = 0.4
+				}
+			} else {
+				st.cur = snap
+			}
+		}
+		if cfg.Adaptive {
+			st.updateWeight(st.dWeights, di, reward)
+			st.updateWeight(st.rWeights, ri, reward)
+		}
+		if cfg.KeepTrajectory {
+			st.trajectory = append(st.trajectory, st.bestObj)
+		}
+	}
+}
+
+// pickOp selects an operator index: adaptive roulette or uniform.
+func (st *state) pickOp(weights []float64) int {
+	if len(weights) == 1 {
+		return 0
+	}
+	if st.cfg.Adaptive {
+		return rouletteIndex(st.rng, weights)
+	}
+	return st.rng.Intn(len(weights))
+}
+
+// updateWeight applies the exponential ALNS weight update with a floor so
+// no operator starves permanently.
+func (st *state) updateWeight(weights []float64, i int, reward float64) {
+	weights[i] = 0.85*weights[i] + 0.15*reward
+	if weights[i] < 0.05 {
+		weights[i] = 0.05
+	}
+}
+
+// finish compiles the best reassignment into a move schedule, falling back
+// to earlier improving solutions when the best has no feasible schedule
+// (rare, but possible when every intermediate machine is saturated).
+func (st *state) finish() (*Result, error) {
+	cfg := st.cfg
+
+	var final *cluster.Placement
+	var schedule *plan.Plan
+	for i := len(st.improving) - 1; i >= 0; i-- {
+		cand := st.improving[i]
+		pl, err := cfg.Planner.Build(st.initialP, cand)
+		if err == nil {
+			final = cand
+			schedule = pl
+			break
+		}
+		st.planFallbacks++
+	}
+	if final == nil {
+		// The identity reassignment always plans (zero moves); improving[0]
+		// is the initial placement, so this is unreachable unless the
+		// planner itself errors on identical placements — treat as a bug.
+		return nil, errIdentityPlan
+	}
+
+	res := &Result{
+		Final:          final,
+		Plan:           schedule,
+		Returned:       pickReturned(final, st.k),
+		Before:         metrics.Compute(st.initialP),
+		After:          metrics.Compute(final),
+		Objective:      objective(final, cfg.SpreadWeight, cfg.MovePenalty, st.initial),
+		MovedShards:    movedCount(final, st.initial),
+		Iterations:     cfg.Iterations,
+		Accepted:       st.accepted,
+		RepairFailures: st.repairFailures,
+		PlanFallbacks:  st.planFallbacks,
+		Trajectory:     st.trajectory,
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+// Package experiments contains one driver per table and figure of the
+// reconstructed evaluation plan (DESIGN.md §4). Each driver returns a
+// Table that cmd/srabench prints and bench_test.go regenerates under
+// testing.B; EXPERIMENTS.md records representative output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the uniform result shape of every experiment driver: an ID
+// matching DESIGN.md (T1, F3, ...), a caption, and text rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v, floats with
+// 4 significant decimals.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package invindex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CorpusConfig parameterizes synthetic corpus generation: documents drawn
+// from a Zipf-distributed vocabulary, the standard model of natural-
+// language term frequencies.
+type CorpusConfig struct {
+	// Docs is the number of documents.
+	Docs int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// ZipfS is the Zipf exponent of term popularity (>1 required by
+	// math/rand's sampler; ~1.1 is typical of text).
+	ZipfS float64
+	// MeanDocLen is the average document length; actual lengths are
+	// geometric-ish around it.
+	MeanDocLen int
+	// Seed drives generation.
+	Seed int64
+}
+
+// DefaultCorpusConfig returns a small but realistic corpus configuration.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{Docs: 2000, Vocab: 5000, ZipfS: 1.15, MeanDocLen: 60, Seed: 1}
+}
+
+// GenerateCorpus produces documents as token slices.
+func GenerateCorpus(cfg CorpusConfig) ([][]string, error) {
+	if cfg.Docs <= 0 || cfg.Vocab <= 0 || cfg.MeanDocLen <= 0 {
+		return nil, fmt.Errorf("invindex: corpus needs positive Docs, Vocab, MeanDocLen")
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("invindex: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Vocab-1))
+	docs := make([][]string, cfg.Docs)
+	for d := range docs {
+		// geometric length with the requested mean, at least 1 token
+		n := 1 + int(r.ExpFloat64()*float64(cfg.MeanDocLen-1))
+		if n > 4*cfg.MeanDocLen {
+			n = 4 * cfg.MeanDocLen
+		}
+		tokens := make([]string, n)
+		for i := range tokens {
+			tokens[i] = termName(int(zipf.Uint64()))
+		}
+		docs[d] = tokens
+	}
+	return docs, nil
+}
+
+// termName maps a term rank to its token string.
+func termName(rank int) string { return fmt.Sprintf("t%d", rank) }
+
+// QueryConfig parameterizes synthetic query generation: short queries whose
+// terms follow a (usually flatter) Zipf law over the same vocabulary.
+type QueryConfig struct {
+	Queries  int
+	Vocab    int
+	ZipfS    float64
+	MaxTerms int
+	Seed     int64
+}
+
+// DefaultQueryConfig returns a typical web-search-like query mix.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{Queries: 500, Vocab: 5000, ZipfS: 1.05, MaxTerms: 4, Seed: 2}
+}
+
+// GenerateQueries produces term-list queries.
+func GenerateQueries(cfg QueryConfig) ([][]string, error) {
+	if cfg.Queries <= 0 || cfg.Vocab <= 0 || cfg.MaxTerms <= 0 {
+		return nil, fmt.Errorf("invindex: queries need positive Queries, Vocab, MaxTerms")
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("invindex: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Vocab-1))
+	qs := make([][]string, cfg.Queries)
+	for i := range qs {
+		// 1..MaxTerms terms, shorter queries more common
+		n := 1 + int(math.Floor(r.ExpFloat64()))
+		if n > cfg.MaxTerms {
+			n = cfg.MaxTerms
+		}
+		terms := make([]string, n)
+		for j := range terms {
+			terms[j] = termName(int(zipf.Uint64()))
+		}
+		qs[i] = terms
+	}
+	return qs, nil
+}

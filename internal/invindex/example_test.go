@@ -1,0 +1,26 @@
+package invindex_test
+
+import (
+	"fmt"
+
+	"rexchange/internal/invindex"
+)
+
+// Example indexes three documents and runs a BM25 disjunctive query with
+// the DAAT/MaxScore evaluator.
+func Example() {
+	ix := invindex.NewIndex()
+	ix.Add([]string{"shard", "load", "balance"})
+	ix.Add([]string{"resource", "exchange", "machine"})
+	ix.Add([]string{"shard", "exchange", "shard"})
+
+	results, stats := ix.SearchDAAT([]string{"shard", "exchange"}, 2)
+	for i, r := range results {
+		fmt.Printf("%d. doc %d (%.3f)\n", i+1, r.Doc, r.Score)
+	}
+	fmt.Printf("docs scored: %d\n", stats.DocsScored)
+	// Output:
+	// 1. doc 2 (1.116)
+	// 2. doc 0 (0.470)
+	// docs scored: 3
+}

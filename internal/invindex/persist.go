@@ -1,0 +1,240 @@
+package invindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary index persistence. The on-disk layout is:
+//
+//	magic "RXIX" | version u32 | k1 f64 | b f64
+//	numDocs u32 | docLen u32 × numDocs
+//	numTerms u32
+//	per term: textLen u32 | text | maxTF u32 | postingCount u32 |
+//	          dataLen u32 | vbyte-compressed postings data
+//
+// Postings are stored vbyte-compressed (the same encoding as
+// CompressedList), so the file size reflects a realistic index footprint.
+
+const (
+	indexMagic   = "RXIX"
+	indexVersion = 1
+)
+
+// Save writes the index in binary form.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	if err := writeU32(bw, indexVersion); err != nil {
+		return err
+	}
+	if err := writeF64(bw, ix.K1); err != nil {
+		return err
+	}
+	if err := writeF64(bw, ix.B); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(ix.docLen))); err != nil {
+		return err
+	}
+	for _, dl := range ix.docLen {
+		if err := writeU32(bw, uint32(dl)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(len(ix.terms))); err != nil {
+		return err
+	}
+	for ti := range ix.terms {
+		term := &ix.terms[ti]
+		if err := writeU32(bw, uint32(len(term.text))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(term.text); err != nil {
+			return fmt.Errorf("invindex: save: %w", err)
+		}
+		if err := writeU32(bw, uint32(term.maxTF)); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(len(term.postings))); err != nil {
+			return err
+		}
+		// compress the postings (deltas + tf in vbyte)
+		var data []byte
+		prev := DocID(-1)
+		for _, p := range term.postings {
+			data = vbytePut(data, uint32(p.Doc-prev))
+			data = vbytePut(data, uint32(p.TF))
+			prev = p.Doc
+		}
+		if err := writeU32(bw, uint32(len(data))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return fmt.Errorf("invindex: save: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index to path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	defer f.Close()
+	if err := ix.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index written by Save.
+func LoadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("invindex: load: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("invindex: load: bad magic %q", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("invindex: load: unsupported version %d", version)
+	}
+	ix := NewIndex()
+	if ix.K1, err = readF64(br); err != nil {
+		return nil, err
+	}
+	if ix.B, err = readF64(br); err != nil {
+		return nil, err
+	}
+	numDocs, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	ix.docLen = make([]int32, numDocs)
+	for i := range ix.docLen {
+		dl, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		ix.docLen[i] = int32(dl)
+		ix.totalLen += int64(dl)
+	}
+	numTerms, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	for ti := 0; ti < int(numTerms); ti++ {
+		textLen, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if textLen > 1<<20 {
+			return nil, fmt.Errorf("invindex: load: absurd term length %d", textLen)
+		}
+		text := make([]byte, textLen)
+		if _, err := io.ReadFull(br, text); err != nil {
+			return nil, fmt.Errorf("invindex: load: term text: %w", err)
+		}
+		maxTF, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		count, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		dataLen, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, dataLen)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("invindex: load: postings data: %w", err)
+		}
+		postings := make([]Posting, 0, count)
+		prev := DocID(-1)
+		off := 0
+		for i := 0; i < int(count); i++ {
+			d, n1 := vbyteGet(data[off:])
+			if n1 == 0 {
+				return nil, fmt.Errorf("invindex: load: term %q: corrupt delta", text)
+			}
+			tf, n2 := vbyteGet(data[off+n1:])
+			if n2 == 0 {
+				return nil, fmt.Errorf("invindex: load: term %q: corrupt tf", text)
+			}
+			prev += DocID(d)
+			if int(prev) >= int(numDocs) {
+				return nil, fmt.Errorf("invindex: load: term %q: doc %d out of range", text, prev)
+			}
+			postings = append(postings, Posting{Doc: prev, TF: int32(tf)})
+			off += n1 + n2
+		}
+		if off != len(data) {
+			return nil, fmt.Errorf("invindex: load: term %q: %d trailing bytes", text, len(data)-off)
+		}
+		ix.dict[string(text)] = len(ix.terms)
+		ix.terms = append(ix.terms, termInfo{
+			text: string(text), postings: postings, maxTF: int32(maxTF),
+		})
+	}
+	return ix, nil
+}
+
+// LoadIndexFile reads an index from path.
+func LoadIndexFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: load: %w", err)
+	}
+	defer f.Close()
+	return LoadIndex(f)
+}
+
+func writeU32(w io.Writer, x uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], x)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	return nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("invindex: load: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeF64(w io.Writer, x float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	return nil
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("invindex: load: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

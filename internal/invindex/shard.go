@@ -1,0 +1,187 @@
+package invindex
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+)
+
+// ShardedIndex is a document-partitioned index: every query fans out to
+// all shards and results are merged — the architecture of large-scale
+// search engines that the paper's load-balancing problem lives in.
+type ShardedIndex struct {
+	Shards []*Index
+}
+
+// BuildSharded partitions a corpus round-robin across n shards.
+// Round-robin (rather than contiguous ranges) keeps shard content
+// statistically similar while still letting sizes differ through document
+// length variance, matching how engines spread crawl output.
+func BuildSharded(docs [][]string, n int) (*ShardedIndex, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("invindex: shard count must be positive, got %d", n)
+	}
+	if len(docs) < n {
+		return nil, fmt.Errorf("invindex: %d documents cannot fill %d shards", len(docs), n)
+	}
+	si := &ShardedIndex{Shards: make([]*Index, n)}
+	for i := range si.Shards {
+		si.Shards[i] = NewIndex()
+	}
+	for d, doc := range docs {
+		si.Shards[d%n].Add(doc)
+	}
+	return si, nil
+}
+
+// Search evaluates a query on every shard (DAAT) and merges the per-shard
+// top-k into a global top-k. The per-shard stats are returned for load
+// accounting; entry i corresponds to shard i.
+func (si *ShardedIndex) Search(terms []string, k int) ([]ScoredDoc, []Stats) {
+	stats := make([]Stats, len(si.Shards))
+	var h resultHeap
+	for i, ix := range si.Shards {
+		res, st := ix.SearchDAAT(terms, k)
+		stats[i] = st
+		for _, d := range res {
+			// Re-key doc ids into a global space (shard-major) so merged
+			// results stay unambiguous.
+			h.push(ScoredDoc{Doc: DocID(i)*1_000_000 + d.Doc, Score: d.Score}, k)
+		}
+	}
+	return h.sorted(), stats
+}
+
+// ProfileConfig controls how shard resource profiles are measured.
+type ProfileConfig struct {
+	// Queries is the sample workload used to measure per-shard query cost.
+	Queries [][]string
+	// TopK is the result depth per query.
+	TopK int
+	// BytesPerPosting scales postings into disk units; MemPerTerm scales
+	// vocabulary into memory units.
+	BytesPerPosting, MemPerTerm float64
+	// LoadScale converts scanned postings per query into load units.
+	LoadScale float64
+	// UseCompressedSize derives the disk footprint from the vbyte-
+	// compressed postings (how engines actually store them) instead of
+	// the raw posting count.
+	UseCompressedSize bool
+}
+
+// DefaultProfileConfig returns sensible measurement parameters.
+func DefaultProfileConfig(queries [][]string) ProfileConfig {
+	return ProfileConfig{
+		Queries:           queries,
+		TopK:              10,
+		BytesPerPosting:   1.0 / 1024, // ~1KiB per 1024 postings
+		MemPerTerm:        1.0 / 512,
+		LoadScale:         1.0 / 1000,
+		UseCompressedSize: true,
+	}
+}
+
+// ProfileShards measures each shard's static footprint (disk from postings
+// volume, memory from dictionary size) and dynamic load (postings scanned
+// answering the sample workload) and returns cluster.Shard descriptors.
+// This is the bridge between the search substrate and the rebalancing
+// problem: shard profiles come from real index mechanics rather than
+// synthetic draws.
+func (si *ShardedIndex) ProfileShards(cfg ProfileConfig) ([]cluster.Shard, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("invindex: profile needs a sample workload")
+	}
+	if cfg.TopK <= 0 {
+		return nil, fmt.Errorf("invindex: TopK must be positive")
+	}
+	scanned := make([]int, len(si.Shards))
+	for _, q := range cfg.Queries {
+		for i, ix := range si.Shards {
+			_, st := ix.SearchDAAT(q, cfg.TopK)
+			scanned[i] += st.PostingsScanned
+		}
+	}
+	shards := make([]cluster.Shard, len(si.Shards))
+	for i, ix := range si.Shards {
+		disk := float64(ix.NumPostings()) * cfg.BytesPerPosting
+		if cfg.UseCompressedSize {
+			ci, err := ix.Compact()
+			if err != nil {
+				return nil, fmt.Errorf("invindex: shard %d: %w", i, err)
+			}
+			// same unit scale: compressed bytes vs 8 raw bytes/posting
+			disk = float64(ci.CompressedBytes()) / 8 * cfg.BytesPerPosting
+		}
+		mem := float64(ix.NumTerms())*cfg.MemPerTerm + disk*0.25 // hot postings cached
+		shards[i] = cluster.Shard{
+			ID:     cluster.ShardID(i),
+			Name:   fmt.Sprintf("idx-shard-%03d", i),
+			Static: vec.New(mem, disk, disk*0.1),
+			Load:   float64(scanned[i]) * cfg.LoadScale,
+		}
+	}
+	return shards, nil
+}
+
+// ClusterFromProfiles builds a cluster and an initial placement that packs
+// the profiled shards onto machines sized so that fill ≈ targetFill, using
+// a random best-fit like production growth would. It is used by the
+// searchcluster example and the F5 experiment.
+func ClusterFromProfiles(shards []cluster.Shard, machines int, targetFill float64, seed int64) (*cluster.Placement, error) {
+	if machines <= 0 || targetFill <= 0 || targetFill >= 1 {
+		return nil, fmt.Errorf("invindex: need positive machines and fill in (0,1)")
+	}
+	var total vec.Vec
+	for i := range shards {
+		total = total.Add(shards[i].Static)
+	}
+	capPer := total.Scale(1 / (targetFill * float64(machines)))
+	c := &cluster.Cluster{Shards: shards}
+	for m := 0; m < machines; m++ {
+		c.Machines = append(c.Machines, cluster.Machine{
+			ID:       cluster.MachineID(m),
+			Name:     fmt.Sprintf("srch-m%03d", m),
+			Capacity: capPer,
+			Speed:    1,
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// random-order first-fit: feasible but load-oblivious
+	r := rand.New(rand.NewSource(seed))
+	p := cluster.NewPlacement(c)
+	order := r.Perm(len(shards))
+	for _, si := range order {
+		s := cluster.ShardID(si)
+		placed := false
+		for _, mi := range r.Perm(machines) {
+			if p.PlaceChecked(s, cluster.MachineID(mi)) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// fall back to the emptiest machine even if order was unlucky
+			best, bestFree := cluster.Unassigned, -1.0
+			for m := 0; m < machines; m++ {
+				id := cluster.MachineID(m)
+				if !p.CanPlace(s, id) {
+					continue
+				}
+				if free := p.Free(id).MaxDim(); free > bestFree {
+					best, bestFree = id, free
+				}
+			}
+			if best == cluster.Unassigned {
+				return nil, fmt.Errorf("invindex: shard %d does not fit; lower targetFill", si)
+			}
+			if err := p.Place(s, best); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,224 @@
+package ip
+
+import (
+	"math"
+	"sort"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+)
+
+// SolveExact solves the same integer program as Solve with a combinatorial
+// branch-and-bound specialized to its structure, which certifies optima
+// orders of magnitude faster than the LP-relaxation search:
+//
+//   - the K returned machines are enumerated as forbidden subsets (any
+//     solution with ≥K vacant machines survives under some such subset);
+//   - shards are assigned depth-first in decreasing load order;
+//   - nodes are pruned against max(current makespan, remaining-load/
+//     capacity bound, heaviest-remaining-shard bound);
+//   - empty machines with identical (speed, capacity) are interchangeable
+//     and only the first is branched on.
+//
+// Solve (the LP-based search) remains as the formulation's reference
+// implementation and cross-check.
+func (md *Model) SolveExact(opt Options) (*Result, error) {
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 50_000_000
+	}
+	c := md.c
+	M := c.NumMachines()
+	S := c.NumShards()
+
+	order := make([]int, S)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := c.Shards[order[i]].Load, c.Shards[order[j]].Load
+		if a != b {
+			return a > b
+		}
+		am, bm := c.Shards[order[i]].Static.MaxDim(), c.Shards[order[j]].Static.MaxDim()
+		if am != bm {
+			return am > bm
+		}
+		return order[i] < order[j]
+	})
+	// suffix sums of remaining load and the heaviest remaining shard
+	sufLoad := make([]float64, S+1)
+	for i := S - 1; i >= 0; i-- {
+		sufLoad[i] = sufLoad[i+1] + c.Shards[order[i]].Load
+	}
+
+	st := &exactState{
+		md:       md,
+		order:    order,
+		sufLoad:  sufLoad,
+		loads:    make([]float64, M),
+		used:     make([]vec.Vec, M),
+		assign:   make([]cluster.MachineID, S),
+		best:     math.Inf(1),
+		maxNodes: maxNodes,
+	}
+	if opt.IncumbentObj > 0 {
+		st.best = opt.IncumbentObj + 1e-9
+	}
+
+	// enumerate forbidden (returned) subsets of size exactly K; the
+	// overall lower bound is the best (smallest) per-subset load/capacity
+	// bound, since the optimum is free to pick its subset.
+	forbidden := make([]bool, M)
+	rootBound := math.Inf(1)
+	var enumerate func(from, left int)
+	enumerate = func(from, left int) {
+		if st.nodes > st.maxNodes {
+			return
+		}
+		if left == 0 {
+			speedSum := 0.0
+			for m := 0; m < M; m++ {
+				if !forbidden[m] {
+					speedSum += c.Machines[m].Speed
+				}
+			}
+			if speedSum <= 0 {
+				return
+			}
+			if b := sufLoad[0] / speedSum; b < rootBound {
+				rootBound = b
+			}
+			st.forbidden = forbidden
+			st.speedSum = speedSum
+			st.dfs(0, 0)
+			return
+		}
+		for m := from; m <= M-left; m++ {
+			forbidden[m] = true
+			enumerate(m+1, left-1)
+			forbidden[m] = false
+		}
+	}
+	enumerate(0, md.k)
+	if math.IsInf(rootBound, 1) {
+		rootBound = 0
+	}
+
+	res := &Result{Nodes: st.nodes, RootBound: rootBound}
+	switch {
+	case st.nodes > st.maxNodes:
+		res.Status = NodeLimit
+	case math.IsInf(st.best, 1):
+		res.Status = Infeasible
+		return res, nil
+	default:
+		res.Status = Optimal
+	}
+	if st.bestAssign != nil {
+		// On NodeLimit this is the best found, without a certificate.
+		res.Objective = st.best
+		res.Assignment = st.bestAssign
+	}
+	return res, nil
+}
+
+// exactState is the DFS search state for SolveExact.
+type exactState struct {
+	md      *Model
+	order   []int
+	sufLoad []float64
+
+	forbidden []bool
+	speedSum  float64
+
+	loads  []float64
+	used   []vec.Vec
+	assign []cluster.MachineID
+
+	best       float64
+	bestAssign []cluster.MachineID
+
+	nodes    int
+	maxNodes int
+}
+
+// dfs assigns order[idx:] with current makespan curMax.
+func (st *exactState) dfs(idx int, curMax float64) {
+	if st.nodes > st.maxNodes {
+		return
+	}
+	st.nodes++
+	c := st.md.c
+	// bound: even perfect splitting of the remaining load cannot beat best
+	lb := curMax
+	if avg := (st.assignedLoad(idx) + st.sufLoad[idx]) / st.speedSum; avg > lb {
+		lb = avg
+	}
+	if lb >= st.best-1e-12 {
+		return
+	}
+	if idx == len(st.order) {
+		st.best = curMax
+		st.bestAssign = append([]cluster.MachineID(nil), st.assign...)
+		return
+	}
+	s := st.order[idx]
+	sh := &c.Shards[s]
+
+	// symmetry: among empty machines with identical speed+capacity, try
+	// only the first.
+	triedEmpty := make(map[[2]float64]bool)
+	for m := 0; m < len(st.loads); m++ {
+		if st.forbidden[m] {
+			continue
+		}
+		mach := &c.Machines[m]
+		if st.loads[m] == 0 && st.used[m].IsZero() {
+			key := [2]float64{mach.Speed, mach.Capacity.Sum()}
+			if triedEmpty[key] {
+				continue
+			}
+			triedEmpty[key] = true
+		}
+		if !sh.Static.FitsWithin(st.used[m], mach.Capacity) {
+			continue
+		}
+		if sh.Group != 0 && st.groupOn(idx, sh.Group, cluster.MachineID(m)) {
+			continue // a replica of this group already sits on m
+		}
+		newU := (st.loads[m] + sh.Load) / mach.Speed
+		next := curMax
+		if newU > next {
+			next = newU
+		}
+		if next >= st.best-1e-12 {
+			continue
+		}
+		st.loads[m] += sh.Load
+		st.used[m] = st.used[m].Add(sh.Static)
+		st.assign[s] = cluster.MachineID(m)
+		st.dfs(idx+1, next)
+		st.loads[m] -= sh.Load
+		st.used[m] = st.used[m].Sub(sh.Static)
+	}
+}
+
+// assignedLoad returns the total load already placed before index idx.
+func (st *exactState) assignedLoad(idx int) float64 {
+	return st.sufLoad[0] - st.sufLoad[idx]
+}
+
+// groupOn reports whether any already-assigned shard (order positions
+// before idx) of group g sits on machine m. Groups are tiny (the replica
+// factor), so a linear scan over earlier positions is cheap.
+func (st *exactState) groupOn(idx int, g int, m cluster.MachineID) bool {
+	c := st.md.c
+	for pos := 0; pos < idx; pos++ {
+		s := st.order[pos]
+		if c.Shards[s].Group == g && st.assign[s] == m {
+			return true
+		}
+	}
+	return false
+}

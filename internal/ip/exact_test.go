@@ -1,0 +1,201 @@
+package ip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+)
+
+func TestExactPartitionAgrees(t *testing.T) {
+	md, err := BuildModel(twoMachine(4, 3, 2, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-5) > 1e-9 {
+		t.Fatalf("status=%v obj=%v, want optimal 5", res.Status, res.Objective)
+	}
+	if res.RootBound > res.Objective+1e-9 {
+		t.Errorf("root bound %v above optimum %v", res.RootBound, res.Objective)
+	}
+}
+
+func TestExactMatchesLPBranchAndBound(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		nm := 2 + r.Intn(2)
+		ns := 4 + r.Intn(4)
+		c := &cluster.Cluster{}
+		for m := 0; m < nm; m++ {
+			c.Machines = append(c.Machines, cluster.Machine{
+				ID: cluster.MachineID(m), Capacity: vec.Uniform(50),
+				Speed: 1 + float64(m)*0.3,
+			})
+		}
+		for s := 0; s < ns; s++ {
+			c.Shards = append(c.Shards, cluster.Shard{
+				ID: cluster.ShardID(s), Static: vec.Uniform(1 + r.Float64()*4),
+				Load: 1 + r.Float64()*6,
+			})
+		}
+		md, err := BuildModel(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpRes, err := md.Solve(Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exRes, err := md.SolveExact(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpRes.Status != Optimal || exRes.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v / %v", trial, lpRes.Status, exRes.Status)
+		}
+		if math.Abs(lpRes.Objective-exRes.Objective) > 1e-5 {
+			t.Errorf("trial %d: LP B&B %v vs combinatorial %v",
+				trial, lpRes.Objective, exRes.Objective)
+		}
+	}
+}
+
+func TestExactVacancy(t *testing.T) {
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(10), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(10), Speed: 1},
+			{ID: 2, Capacity: vec.Uniform(10), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(1), Load: 2},
+			{ID: 1, Static: vec.Uniform(1), Load: 2},
+		},
+	}
+	md, err := BuildModel(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-2) > 1e-9 {
+		t.Fatalf("status=%v obj=%v, want 2", res.Status, res.Objective)
+	}
+	p, _ := cluster.FromAssignment(md.c, res.Assignment)
+	if p.NumVacant() < 1 {
+		t.Error("vacancy violated")
+	}
+}
+
+func TestExactInfeasible(t *testing.T) {
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{{ID: 0, Capacity: vec.Uniform(1), Speed: 1}},
+		Shards:   []cluster.Shard{{ID: 0, Static: vec.Uniform(5), Load: 1}},
+	}
+	md, err := BuildModel(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestExactIncumbentCertifies(t *testing.T) {
+	md, err := BuildModel(twoMachine(4, 3, 2, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// priming with the optimum: everything pruned, no better solution
+	res, err := md.SolveExact(Options{IncumbentObj: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// best ≈ 5 is "found" only if strictly better appears; with the
+	// incumbent equal to the optimum nothing beats it.
+	if res.Status == NodeLimit {
+		t.Fatalf("unexpected node limit")
+	}
+	if res.Assignment != nil && res.Objective < 5-1e-9 {
+		t.Errorf("found impossible objective %v", res.Objective)
+	}
+}
+
+func TestExactNodeLimit(t *testing.T) {
+	md, err := BuildModel(twoMachine(5, 4, 3, 3, 2, 2, 1, 1, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", res.Status)
+	}
+}
+
+func TestExactSymmetryBreaking(t *testing.T) {
+	// 6 identical machines, 6 identical shards: symmetry breaking should
+	// keep the node count tiny (a naive search would visit 6^6 states).
+	c := &cluster.Cluster{}
+	for m := 0; m < 6; m++ {
+		c.Machines = append(c.Machines, cluster.Machine{
+			ID: cluster.MachineID(m), Capacity: vec.Uniform(10), Speed: 1,
+		})
+	}
+	for s := 0; s < 6; s++ {
+		c.Shards = append(c.Shards, cluster.Shard{
+			ID: cluster.ShardID(s), Static: vec.Uniform(1), Load: 3,
+		})
+	}
+	md, err := BuildModel(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Objective-3) > 1e-9 {
+		t.Fatalf("status=%v obj=%v", res.Status, res.Objective)
+	}
+	if res.Nodes > 2000 {
+		t.Errorf("symmetry breaking ineffective: %d nodes", res.Nodes)
+	}
+}
+
+func TestExactBruteForceAgreement(t *testing.T) {
+	cases := [][]float64{
+		{3, 2, 1},
+		{5, 4, 3, 2},
+		{7, 1, 1, 1, 1},
+		{6, 5, 4, 3, 2, 1},
+	}
+	for _, loads := range cases {
+		md, err := BuildModel(twoMachine(loads...), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := md.SolveExact(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceMakespan(loads)
+		if math.Abs(res.Objective-want) > 1e-9 {
+			t.Errorf("loads %v: exact %v, brute force %v", loads, res.Objective, want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package ip
+
+import (
+	"math"
+	"testing"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+)
+
+// replicaCluster: two replicas (group 1) of load 3 plus a load-1 shard on
+// two machines. Without anti-affinity both replicas would share a machine
+// for makespan 3/…; with it, the optimum is forced to split them.
+func replicaCluster() *cluster.Cluster {
+	return &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(10), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(10), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(1), Load: 3, Group: 1},
+			{ID: 1, Static: vec.Uniform(1), Load: 3, Group: 1},
+			{ID: 2, Static: vec.Uniform(1), Load: 1},
+		},
+	}
+}
+
+func TestExactAntiAffinity(t *testing.T) {
+	md, err := BuildModel(replicaCluster(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// replicas split 3|3, extra shard lands on either → makespan 4
+	if math.Abs(res.Objective-4) > 1e-9 {
+		t.Errorf("objective = %v, want 4", res.Objective)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("replicas co-located in optimal assignment")
+	}
+}
+
+func TestLPBnBAntiAffinity(t *testing.T) {
+	md, err := BuildModel(replicaCluster(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.Solve(Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-4) > 1e-6 {
+		t.Errorf("objective = %v, want 4", res.Objective)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("replicas co-located in optimal assignment")
+	}
+}
+
+func TestExactAntiAffinityInfeasible(t *testing.T) {
+	// 3 replicas, 2 machines: impossible.
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(10), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(10), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(1), Load: 1, Group: 1},
+			{ID: 1, Static: vec.Uniform(1), Load: 1, Group: 1},
+			{ID: 2, Static: vec.Uniform(1), Load: 1, Group: 1},
+		},
+	}
+	md, err := BuildModel(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.SolveExact(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}

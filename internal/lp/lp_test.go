@@ -1,0 +1,249 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y ≤ 4, 3x+y ≤ 6 → min -(x+y); opt at x=1.6, y=1.2.
+	p := NewProblem(2)
+	p.Objective = []float64{-1, -1}
+	p.AddConstraint([]float64{1, 2}, LE, 4)
+	p.AddConstraint([]float64{3, 1}, LE, 6)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !almostEq(s.Obj, -2.8, 1e-6) {
+		t.Errorf("obj = %v, want -2.8", s.Obj)
+	}
+	if !almostEq(s.X[0], 1.6, 1e-6) || !almostEq(s.X[1], 1.2, 1e-6) {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y = 10, x ≥ 3, y ≥ 2 → x=8, y=2, obj=22.
+	p := NewProblem(2)
+	p.Objective = []float64{2, 3}
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 3)
+	p.AddConstraint([]float64{0, 1}, GE, 2)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !almostEq(s.Obj, 22, 1e-6) {
+		t.Errorf("obj = %v, want 22", s.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with only x ≥ 0 and a vacuous constraint.
+	p := NewProblem(1)
+	p.Objective = []float64{-1}
+	p.AddConstraint([]float64{1}, GE, 1)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalized(t *testing.T) {
+	// -x ≤ -2  ⇔  x ≥ 2; min x → 2.
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint([]float64{-1}, LE, -2)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almostEq(s.Obj, 2, 1e-6) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestDegenerateOK(t *testing.T) {
+	// Degenerate vertex: multiple constraints through the optimum.
+	p := NewProblem(2)
+	p.Objective = []float64{-1, 0}
+	p.AddConstraint([]float64{1, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{1, -1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almostEq(s.Obj, -1, 1e-6) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// A pure feasibility problem: any feasible point, obj 0.
+	p := NewProblem(2)
+	p.AddConstraint([]float64{1, 1}, GE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 3)
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almostEq(s.Obj, 0, 1e-9) {
+		t.Fatalf("status=%v obj=%v", s.Status, s.Obj)
+	}
+	if s.X[0]+s.X[1] < 1-1e-6 || s.X[0]+s.X[1] > 3+1e-6 {
+		t.Errorf("x=%v violates constraints", s.X)
+	}
+}
+
+func TestBinRelaxationKnapsack(t *testing.T) {
+	// LP relaxation of knapsack: max 3a+2b+2c, 2a+b+c ≤ 2, vars ≤ 1.
+	// Optimum is integral here: b=c=1 (weight 2) gives obj 4, beating any
+	// mix that spends capacity on the heavier a.
+	p := NewProblem(3)
+	p.Objective = []float64{-3, -2, -2}
+	p.AddConstraint([]float64{2, 1, 1}, LE, 2)
+	for j := 0; j < 3; j++ {
+		co := make([]float64, 3)
+		co[j] = 1
+		p.AddConstraint(co, LE, 1)
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || !almostEq(s.Obj, -4, 1e-6) {
+		t.Fatalf("status=%v obj=%v, want -4", s.Status, s.Obj)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Error("expected error for zero variables")
+	}
+	p := NewProblem(2)
+	p.Objective = []float64{1}
+	if _, err := Solve(p); err == nil {
+		t.Error("expected error for objective size mismatch")
+	}
+	p = NewProblem(1)
+	p.AddConstraint([]float64{1, 2}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Error("expected error for oversized constraint")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+		Status(9): "status(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+// TestBealeCycling is Beale's classic example on which Dantzig's rule
+// cycles forever without an anti-cycling safeguard. The solver's Bland
+// fallback must terminate at the optimum −1/20.
+func TestBealeCycling(t *testing.T) {
+	p := NewProblem(4)
+	p.Objective = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]float64{0.25, -60, -1.0 / 25, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -1.0 / 50, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !almostEq(s.Obj, -0.05, 1e-9) {
+		t.Errorf("obj = %v, want -0.05", s.Obj)
+	}
+}
+
+// TestQuickRandomFeasibleBounded generates random bounded feasible LPs
+// (box-constrained with random ≤ rows) and checks that the reported optimum
+// satisfies all constraints and is no worse than a sample of feasible
+// points.
+func TestQuickRandomFeasibleBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		m := 1 + r.Intn(4)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Objective[j] = r.Float64()*4 - 2
+			box := make([]float64, n)
+			box[j] = 1
+			p.AddConstraint(box, LE, 1+r.Float64()*3) // x_j ≤ U_j keeps it bounded
+		}
+		for i := 0; i < m; i++ {
+			co := make([]float64, n)
+			for j := range co {
+				co[j] = r.Float64() // non-negative ⇒ x=0 feasible
+			}
+			p.AddConstraint(co, LE, 0.5+r.Float64()*3)
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// constraints hold
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coefs {
+				lhs += v * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		// objective beats random feasible points (x scaled toward 0)
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = r.Float64() * 0.1
+			}
+			ok := true
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for j, v := range c.Coefs {
+					lhs += v * x[j]
+				}
+				if lhs > c.RHS {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Objective[j] * x[j]
+			}
+			if obj < s.Obj-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

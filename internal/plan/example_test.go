@@ -1,0 +1,46 @@
+package plan_test
+
+import (
+	"fmt"
+	"log"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/plan"
+	"rexchange/internal/vec"
+)
+
+// Example shows the canonical deadlock the planner solves: two full
+// machines must exchange their shards, which is impossible directly under
+// the transient constraint but schedulable through a vacant third machine.
+func Example() {
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(4), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(4), Speed: 1},
+			{ID: 2, Capacity: vec.Uniform(4), Speed: 1, Exchange: true},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(4), Load: 1},
+			{ID: 1, Static: vec.Uniform(4), Load: 1},
+		},
+	}
+	from, err := cluster.FromAssignment(c, []cluster.MachineID{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	to, err := cluster.FromAssignment(c, []cluster.MachineID{1, 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := plan.DefaultPlanner().Build(from, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, mv := range p.Moves {
+		fmt.Printf("%d. shard %d: machine %d → %d\n", i+1, mv.S, mv.From, mv.To)
+	}
+	// Output:
+	// 1. shard 1: machine 1 → 2
+	// 2. shard 0: machine 0 → 1
+	// 3. shard 1: machine 2 → 0
+}

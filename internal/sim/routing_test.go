@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+	"rexchange/internal/workload"
+)
+
+// replicatedPlacement: two machines, one replicated logical shard (group 1)
+// with a replica on each machine, plus an ungrouped shard on machine 0.
+func replicatedPlacement(t *testing.T) *cluster.Placement {
+	t.Helper()
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(100), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(100), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(1), Load: 5, Group: 1},
+			{ID: 1, Static: vec.Uniform(1), Load: 5, Group: 1},
+			{ID: 2, Static: vec.Uniform(1), Load: 2},
+		},
+	}
+	p, err := cluster.FromAssignment(c, []cluster.MachineID{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func routedTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	tr, err := workload.GenerateTrace(workload.TraceConfig{
+		Duration: 30, BaseRate: 40, CostSigma: 0.2, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRoutingStaticMatchesLegacyModel(t *testing.T) {
+	p := replicatedPlacement(t)
+	tr := routedTrace(t)
+	cfg := Config{Cores: 2, WorkScale: 1e-3, Routing: RouteStatic}
+	rep, err := Run(p, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// static: machine 0 carries 7 load units, machine 1 carries 5
+	if rep.MachineBusy[0] <= rep.MachineBusy[1] {
+		t.Errorf("static routing busy: %v vs %v", rep.MachineBusy[0], rep.MachineBusy[1])
+	}
+}
+
+func TestRoundRobinSplitsGroupWork(t *testing.T) {
+	p := replicatedPlacement(t)
+	tr := routedTrace(t)
+	cfg := Config{Cores: 2, WorkScale: 1e-3, Routing: RouteRoundRobin}
+	rep, err := Run(p, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// group work (10 units/query) alternates between machines; machine 0
+	// additionally serves the ungrouped 2 units → slightly busier.
+	if rep.MachineBusy[0] <= rep.MachineBusy[1] {
+		t.Errorf("rr busy: %v vs %v", rep.MachineBusy[0], rep.MachineBusy[1])
+	}
+	ratio := rep.MachineBusy[0] / rep.MachineBusy[1]
+	if ratio > 1.6 { // (5+2)/5 = 1.4 expected
+		t.Errorf("round robin did not split group work: ratio %v", ratio)
+	}
+}
+
+func TestLeastLoadedAvoidsTheBusyReplica(t *testing.T) {
+	// machine 0 is loaded with heavy ungrouped work; least-loaded routing
+	// should push essentially all group queries to machine 1.
+	c := &cluster.Cluster{
+		Machines: []cluster.Machine{
+			{ID: 0, Capacity: vec.Uniform(100), Speed: 1},
+			{ID: 1, Capacity: vec.Uniform(100), Speed: 1},
+		},
+		Shards: []cluster.Shard{
+			{ID: 0, Static: vec.Uniform(1), Load: 3, Group: 1},
+			{ID: 1, Static: vec.Uniform(1), Load: 3, Group: 1},
+			{ID: 2, Static: vec.Uniform(1), Load: 12}, // hot ungrouped on m0
+		},
+	}
+	p, err := cluster.FromAssignment(c, []cluster.MachineID{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := routedTrace(t)
+
+	rr, err := Run(p, tr, Config{Cores: 2, WorkScale: 2e-3, Routing: RouteRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Run(p, tr, Config{Cores: 2, WorkScale: 2e-3, Routing: RouteLeastLoaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// least-loaded must reduce tail latency vs round robin here
+	if ll.P99 >= rr.P99 {
+		t.Errorf("least-loaded p99 %v not better than round-robin %v", ll.P99, rr.P99)
+	}
+	// and shift busy time off the hot machine
+	if ll.MachineBusy[0] >= rr.MachineBusy[0] {
+		t.Errorf("least-loaded did not relieve the hot machine: %v vs %v",
+			ll.MachineBusy[0], rr.MachineBusy[0])
+	}
+}
+
+func TestRoutingString(t *testing.T) {
+	for r, want := range map[Routing]string{
+		RouteStatic: "static", RouteRoundRobin: "round-robin",
+		RouteLeastLoaded: "least-loaded", Routing(9): "routing(?)",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}
+
+// TestUngroupedClusterRoutingIrrelevant verifies that on a cluster without
+// replica groups every routing policy produces identical results.
+func TestUngroupedClusterRoutingIrrelevant(t *testing.T) {
+	p := mkPlacement(t, []float64{10, 6})
+	tr := routedTrace(t)
+	base, err := Run(p, tr, Config{Cores: 2, WorkScale: 1e-3, Routing: RouteStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Routing{RouteRoundRobin, RouteLeastLoaded} {
+		rep, err := Run(p, tr, Config{Cores: 2, WorkScale: 1e-3, Routing: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.P99 != base.P99 || rep.MeanLatency != base.MeanLatency {
+			t.Errorf("%v differs on ungrouped cluster", r)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rexchange/internal/cluster"
+)
+
+func TestGenerateWithReplicas(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 12
+	cfg.Shards = 60
+	cfg.Replicas = 3
+	cfg.TargetFill = 0.7
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := inst.Cluster
+	if c.NumShards() != 180 {
+		t.Fatalf("physical shards = %d, want 180", c.NumShards())
+	}
+	// replicas share group, name prefix, static, and split load
+	byGroup := map[int][]cluster.Shard{}
+	for _, s := range c.Shards {
+		if s.Group == 0 {
+			t.Fatalf("shard %d ungrouped in replicated instance", s.ID)
+		}
+		byGroup[s.Group] = append(byGroup[s.Group], s)
+	}
+	if len(byGroup) != 60 {
+		t.Fatalf("groups = %d, want 60", len(byGroup))
+	}
+	for g, members := range byGroup {
+		if len(members) != 3 {
+			t.Fatalf("group %d has %d replicas", g, len(members))
+		}
+		for i := 1; i < len(members); i++ {
+			if members[i].Static != members[0].Static {
+				t.Errorf("group %d replicas differ in static", g)
+			}
+			if math.Abs(members[i].Load-members[0].Load) > 1e-12 {
+				t.Errorf("group %d replicas differ in load", g)
+			}
+		}
+	}
+	// placement must be anti-affinity feasible
+	if !inst.Placement.Feasible() {
+		t.Fatal("replicated initial placement infeasible")
+	}
+	if err := inst.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// fill target counts all replicas
+	fill := c.TotalStatic().MaxRatio(c.TotalCapacity())
+	if math.Abs(fill-cfg.TargetFill) > 0.01 {
+		t.Errorf("fill = %v, want ≈ %v", fill, cfg.TargetFill)
+	}
+}
+
+func TestReplicasExceedMachines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 2
+	cfg.Shards = 4
+	cfg.Replicas = 3
+	if _, err := Generate(cfg); err == nil {
+		t.Error("expected error: more replicas than machines")
+	}
+}
+
+func TestPerturbLoads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 8
+	cfg.Shards = 40
+	cfg.Replicas = 2
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := inst.Cluster
+	nc := PerturbLoads(c, 0.5, 9)
+	if nc == c {
+		t.Fatal("PerturbLoads must return a copy")
+	}
+	if math.Abs(nc.TotalLoad()-c.TotalLoad()) > 1e-6 {
+		t.Errorf("total load changed: %v → %v", c.TotalLoad(), nc.TotalLoad())
+	}
+	changed := 0
+	for i := range c.Shards {
+		if nc.Shards[i].Load != c.Shards[i].Load {
+			changed++
+		}
+		if nc.Shards[i].Static != c.Shards[i].Static {
+			t.Fatal("statics must not change")
+		}
+	}
+	if changed == 0 {
+		t.Error("no loads drifted")
+	}
+	// replicas drift together
+	byGroup := map[int][]float64{}
+	for _, s := range nc.Shards {
+		byGroup[s.Group] = append(byGroup[s.Group], s.Load)
+	}
+	for g, loads := range byGroup {
+		for i := 1; i < len(loads); i++ {
+			if math.Abs(loads[i]-loads[0]) > 1e-9 {
+				t.Errorf("group %d replicas drifted apart: %v", g, loads)
+			}
+		}
+	}
+	// original untouched
+	if c.Shards[0].Load != inst.Cluster.Shards[0].Load {
+		t.Error("input cluster mutated")
+	}
+}
+
+func TestCapLoadsPreservesTotal(t *testing.T) {
+	loads := []float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if err := capLoads(loads, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := 0.0
+	for _, l := range loads {
+		if l > 2+1e-9 {
+			t.Errorf("load %v above cap", l)
+		}
+		got += l
+	}
+	if math.Abs(got-total) > 1e-9 {
+		t.Errorf("total changed: %v → %v", total, got)
+	}
+}
+
+func TestCapLoadsRelaxesInfeasibleCap(t *testing.T) {
+	loads := []float64{10, 10}
+	if err := capLoads(loads, 1); err != nil {
+		t.Fatal(err)
+	}
+	// the cap auto-relaxes to keep the total; loads stay near 10 each
+	if loads[0]+loads[1] < 19.9 {
+		t.Errorf("total lost under infeasible cap: %v", loads)
+	}
+}

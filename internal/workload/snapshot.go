@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/vec"
+)
+
+// This file implements the operator-facing snapshot format: two CSV files
+// describing the observed datacenter state. It is the ingestion path for
+// the "real data from actual datacenters" leg of the evaluation — anyone
+// with production inventory can export these two tables and rebalance.
+//
+//	machines.csv: id,name,mem,disk,net,speed
+//	shards.csv:   id,name,mem,disk,net,load,group,machine
+//
+// machine is the hosting machine id, or -1 for an unassigned shard.
+// Headers are required; extra whitespace is not tolerated (CSV semantics).
+
+// machineHeader and shardHeader are the expected CSV headers.
+var (
+	machineHeader = []string{"id", "name", "mem", "disk", "net", "speed"}
+	shardHeader   = []string{"id", "name", "mem", "disk", "net", "load", "group", "machine"}
+)
+
+// SaveSnapshot writes the placement as the two-file CSV snapshot.
+func SaveSnapshot(p *cluster.Placement, machines, shards io.Writer) error {
+	c := p.Cluster()
+	mw := csv.NewWriter(machines)
+	if err := mw.Write(machineHeader); err != nil {
+		return fmt.Errorf("workload: snapshot machines: %w", err)
+	}
+	for _, m := range c.Machines {
+		rec := []string{
+			strconv.Itoa(int(m.ID)), m.Name,
+			fmtF(m.Capacity[vec.Memory]), fmtF(m.Capacity[vec.Disk]), fmtF(m.Capacity[vec.Net]),
+			fmtF(m.Speed),
+		}
+		if err := mw.Write(rec); err != nil {
+			return fmt.Errorf("workload: snapshot machines: %w", err)
+		}
+	}
+	mw.Flush()
+	if err := mw.Error(); err != nil {
+		return fmt.Errorf("workload: snapshot machines: %w", err)
+	}
+
+	sw := csv.NewWriter(shards)
+	if err := sw.Write(shardHeader); err != nil {
+		return fmt.Errorf("workload: snapshot shards: %w", err)
+	}
+	for _, s := range c.Shards {
+		rec := []string{
+			strconv.Itoa(int(s.ID)), s.Name,
+			fmtF(s.Static[vec.Memory]), fmtF(s.Static[vec.Disk]), fmtF(s.Static[vec.Net]),
+			fmtF(s.Load), strconv.Itoa(s.Group),
+			strconv.Itoa(int(p.Home(s.ID))),
+		}
+		if err := sw.Write(rec); err != nil {
+			return fmt.Errorf("workload: snapshot shards: %w", err)
+		}
+	}
+	sw.Flush()
+	if err := sw.Error(); err != nil {
+		return fmt.Errorf("workload: snapshot shards: %w", err)
+	}
+	return nil
+}
+
+// SaveSnapshotFiles writes the snapshot to two file paths.
+func SaveSnapshotFiles(p *cluster.Placement, machinesPath, shardsPath string) error {
+	mf, err := os.Create(machinesPath)
+	if err != nil {
+		return fmt.Errorf("workload: snapshot: %w", err)
+	}
+	defer mf.Close()
+	sf, err := os.Create(shardsPath)
+	if err != nil {
+		return fmt.Errorf("workload: snapshot: %w", err)
+	}
+	defer sf.Close()
+	if err := SaveSnapshot(p, mf, sf); err != nil {
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	return sf.Close()
+}
+
+// LoadSnapshot reads a two-file CSV snapshot into a placement. The cluster
+// is validated; the assignment may be partial (machine = -1) and may be
+// statically infeasible (an honest observation of an overloaded fleet).
+func LoadSnapshot(machines, shards io.Reader) (*cluster.Placement, error) {
+	mr := csv.NewReader(machines)
+	mrecs, err := mr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: snapshot machines: %w", err)
+	}
+	if err := checkHeader(mrecs, machineHeader, "machines"); err != nil {
+		return nil, err
+	}
+	c := &cluster.Cluster{}
+	for i, rec := range mrecs[1:] {
+		vals, err := parseFloats(rec[2:], 4)
+		if err != nil {
+			return nil, fmt.Errorf("workload: machines.csv row %d: %w", i+2, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil || id != len(c.Machines) {
+			return nil, fmt.Errorf("workload: machines.csv row %d: ids must be 0..n-1 in order", i+2)
+		}
+		c.Machines = append(c.Machines, cluster.Machine{
+			ID:       cluster.MachineID(id),
+			Name:     rec[1],
+			Capacity: vec.New(vals[0], vals[1], vals[2]),
+			Speed:    vals[3],
+		})
+	}
+
+	sr := csv.NewReader(shards)
+	srecs, err := sr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: snapshot shards: %w", err)
+	}
+	if err := checkHeader(srecs, shardHeader, "shards"); err != nil {
+		return nil, err
+	}
+	assign := make([]cluster.MachineID, 0, len(srecs)-1)
+	for i, rec := range srecs[1:] {
+		vals, err := parseFloats(rec[2:6], 4)
+		if err != nil {
+			return nil, fmt.Errorf("workload: shards.csv row %d: %w", i+2, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil || id != len(c.Shards) {
+			return nil, fmt.Errorf("workload: shards.csv row %d: ids must be 0..n-1 in order", i+2)
+		}
+		group, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("workload: shards.csv row %d: bad group: %w", i+2, err)
+		}
+		home, err := strconv.Atoi(rec[7])
+		if err != nil {
+			return nil, fmt.Errorf("workload: shards.csv row %d: bad machine: %w", i+2, err)
+		}
+		c.Shards = append(c.Shards, cluster.Shard{
+			ID:     cluster.ShardID(id),
+			Name:   rec[1],
+			Static: vec.New(vals[0], vals[1], vals[2]),
+			Load:   vals[3],
+			Group:  group,
+		})
+		assign = append(assign, cluster.MachineID(home))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return cluster.FromAssignment(c, assign)
+}
+
+// LoadSnapshotFiles reads a snapshot from two file paths.
+func LoadSnapshotFiles(machinesPath, shardsPath string) (*cluster.Placement, error) {
+	mf, err := os.Open(machinesPath)
+	if err != nil {
+		return nil, fmt.Errorf("workload: snapshot: %w", err)
+	}
+	defer mf.Close()
+	sf, err := os.Open(shardsPath)
+	if err != nil {
+		return nil, fmt.Errorf("workload: snapshot: %w", err)
+	}
+	defer sf.Close()
+	return LoadSnapshot(mf, sf)
+}
+
+// checkHeader verifies the first record matches the expected header.
+func checkHeader(recs [][]string, want []string, which string) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("workload: %s.csv is empty", which)
+	}
+	got := recs[0]
+	if len(got) != len(want) {
+		return fmt.Errorf("workload: %s.csv header has %d fields, want %d", which, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("workload: %s.csv header field %d is %q, want %q", which, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// parseFloats parses exactly n leading fields as floats.
+func parseFloats(fields []string, n int) ([]float64, error) {
+	if len(fields) < n {
+		return nil, fmt.Errorf("want %d numeric fields, got %d", n, len(fields))
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// fmtF formats a float compactly for CSV.
+func fmtF(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rexchange/internal/cluster"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 8
+	cfg.Shards = 30
+	cfg.Replicas = 2
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf, sbuf bytes.Buffer
+	if err := SaveSnapshot(inst.Placement, &mbuf, &sbuf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(&mbuf, &sbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, gc := inst.Cluster, got.Cluster()
+	if gc.NumMachines() != c.NumMachines() || gc.NumShards() != c.NumShards() {
+		t.Fatalf("sizes changed: %d/%d vs %d/%d",
+			gc.NumMachines(), gc.NumShards(), c.NumMachines(), c.NumShards())
+	}
+	for i := range c.Machines {
+		if gc.Machines[i] != c.Machines[i] {
+			t.Errorf("machine %d: %+v vs %+v", i, gc.Machines[i], c.Machines[i])
+		}
+	}
+	for i := range c.Shards {
+		if gc.Shards[i] != c.Shards[i] {
+			t.Errorf("shard %d: %+v vs %+v", i, gc.Shards[i], c.Shards[i])
+		}
+	}
+	for s := 0; s < c.NumShards(); s++ {
+		if got.Home(cluster.ShardID(s)) != inst.Placement.Home(cluster.ShardID(s)) {
+			t.Errorf("shard %d home changed", s)
+		}
+	}
+}
+
+func TestSnapshotFilesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 4
+	cfg.Shards = 10
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	mp, sp := dir+"/machines.csv", dir+"/shards.csv"
+	if err := SaveSnapshotFiles(inst.Placement, mp, sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFiles(mp, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cluster().NumShards() != 10 {
+		t.Error("file round trip lost shards")
+	}
+	if _, err := LoadSnapshotFiles(mp+".missing", sp); err == nil {
+		t.Error("expected missing-file error")
+	}
+	if _, err := LoadSnapshotFiles(mp, sp+".missing"); err == nil {
+		t.Error("expected missing-file error")
+	}
+}
+
+func TestSnapshotPartialAssignment(t *testing.T) {
+	machines := "id,name,mem,disk,net,speed\n0,m0,10,10,10,1\n"
+	shards := "id,name,mem,disk,net,load,group,machine\n" +
+		"0,s0,1,1,1,2,0,0\n" +
+		"1,s1,1,1,1,3,0,-1\n"
+	p, err := LoadSnapshot(strings.NewReader(machines), strings.NewReader(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Home(1) != cluster.Unassigned {
+		t.Errorf("shard 1 home = %d, want unassigned", p.Home(1))
+	}
+	if p.UnassignedCount() != 1 {
+		t.Errorf("unassigned = %d", p.UnassignedCount())
+	}
+}
+
+func TestSnapshotMalformed(t *testing.T) {
+	goodM := "id,name,mem,disk,net,speed\n0,m0,10,10,10,1\n"
+	goodS := "id,name,mem,disk,net,load,group,machine\n0,s0,1,1,1,2,0,0\n"
+	cases := []struct {
+		name, machines, shards string
+	}{
+		{"bad machine header", "nope,name,mem,disk,net,speed\n", goodS},
+		{"short machine header", "id,name\n", goodS},
+		{"bad machine id order", "id,name,mem,disk,net,speed\n5,m0,10,10,10,1\n", goodS},
+		{"bad machine float", "id,name,mem,disk,net,speed\n0,m0,x,10,10,1\n", goodS},
+		{"bad shard header", goodM, "id,nope\n"},
+		{"bad shard id order", goodM, "id,name,mem,disk,net,load,group,machine\n3,s0,1,1,1,2,0,0\n"},
+		{"bad shard float", goodM, "id,name,mem,disk,net,load,group,machine\n0,s0,x,1,1,2,0,0\n"},
+		{"bad group", goodM, "id,name,mem,disk,net,load,group,machine\n0,s0,1,1,1,2,x,0\n"},
+		{"bad machine ref", goodM, "id,name,mem,disk,net,load,group,machine\n0,s0,1,1,1,2,0,x\n"},
+		{"out of range machine ref", goodM, "id,name,mem,disk,net,load,group,machine\n0,s0,1,1,1,2,0,7\n"},
+		{"empty machines", "", goodS},
+		{"negative speed", "id,name,mem,disk,net,speed\n0,m0,10,10,10,-1\n", goodS},
+	}
+	for _, tc := range cases {
+		_, err := LoadSnapshot(strings.NewReader(tc.machines), strings.NewReader(tc.shards))
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
