@@ -1,0 +1,6 @@
+//go:build !debugasserts
+
+package cluster
+
+// DebugAsserts is false in default builds; see debug_on.go.
+const DebugAsserts = false

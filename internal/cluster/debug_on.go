@@ -1,0 +1,9 @@
+//go:build debugasserts
+
+package cluster
+
+// DebugAsserts gates the runtime invariant hooks sprinkled through the
+// solver, planner, and simulator. Build with -tags debugasserts to turn
+// every destroy/repair step and applied move into a full invariant check;
+// the default build compiles the hooks away entirely.
+const DebugAsserts = true

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestSolveParallelDeterministicAcrossGOMAXPROCS pins the determinism
+// contract the rexlint suite exists to protect: for a fixed seed,
+// SolveParallel must produce a byte-identical assignment and bit-identical
+// objective regardless of how much real parallelism the runtime provides.
+// The solver's worker results are reduced by worker index, not completion
+// order, so scheduling must not be observable.
+func TestSolveParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	inst := smallInstance(t, 99, 2)
+	cfg := quickConfig()
+	cfg.Seed = 424242
+
+	run := func(procs int) ([]int32, float64) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		res, err := New(cfg).SolveParallel(inst, 4)
+		if err != nil {
+			t.Fatalf("SolveParallel with GOMAXPROCS=%d: %v", procs, err)
+		}
+		assign := res.Final.Assignment()
+		out := make([]int32, len(assign))
+		for i, m := range assign {
+			out[i] = int32(m)
+		}
+		return out, res.Objective
+	}
+
+	serialAssign, serialObj := run(1)
+	parallelAssign, parallelObj := run(8)
+
+	if math.Float64bits(serialObj) != math.Float64bits(parallelObj) {
+		t.Errorf("objective differs across GOMAXPROCS: %v (serial) vs %v (parallel)",
+			serialObj, parallelObj)
+	}
+	if len(serialAssign) != len(parallelAssign) {
+		t.Fatalf("assignment lengths differ: %d vs %d", len(serialAssign), len(parallelAssign))
+	}
+	for s := range serialAssign {
+		if serialAssign[s] != parallelAssign[s] {
+			t.Fatalf("shard %d assigned to %d (serial) vs %d (parallel)",
+				s, serialAssign[s], parallelAssign[s])
+		}
+	}
+
+	// The same run repeated must also be identical to itself (guards
+	// against hidden global state between invocations).
+	againAssign, againObj := run(8)
+	if math.Float64bits(againObj) != math.Float64bits(parallelObj) {
+		t.Errorf("objective differs between identical runs: %v vs %v", againObj, parallelObj)
+	}
+	for s := range againAssign {
+		if againAssign[s] != parallelAssign[s] {
+			t.Fatalf("shard %d differs between identical runs: %d vs %d",
+				s, againAssign[s], parallelAssign[s])
+		}
+	}
+}

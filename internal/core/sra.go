@@ -132,7 +132,15 @@ func (st *state) run() {
 
 		st.pool = st.pool[:0]
 		st.destroyOps[di].fn(st, q)
+		if cluster.DebugAsserts {
+			st.cur.MustInvariants("destroy " + st.destroyOps[di].name)
+		}
 		ok := st.repairOps[ri].fn(st)
+		if cluster.DebugAsserts {
+			// Even a failed repair must leave the bookkeeping uncorrupted;
+			// the caller only discards the neighborhood, not the structure.
+			st.cur.MustInvariants("repair " + st.repairOps[ri].name)
+		}
 
 		reward := 0.0
 		if !ok {

@@ -1,0 +1,82 @@
+package invindex
+
+import (
+	"testing"
+)
+
+// FuzzCompressRoundtrip derives a valid sorted postings list from the fuzz
+// input (byte pairs become doc-gap and term frequency), compresses it, and
+// checks that decompression and skip-based seeking reproduce it exactly.
+// The raw input is also fed to vbyteGet, which must reject malformed bytes
+// without panicking or over-reading.
+func FuzzCompressRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 1})
+	f.Add([]byte{0, 0, 255, 255, 3, 7})
+	multi := make([]byte, 4*blockSize+6) // spans several skip blocks
+	for i := range multi {
+		multi[i] = byte(i*7 + 1)
+	}
+	f.Add(multi)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoder robustness on arbitrary bytes.
+		if x, n := vbyteGet(data); n > len(data) {
+			t.Fatalf("vbyteGet consumed %d of %d bytes (decoded %d)", n, len(data), x)
+		}
+
+		// Byte pairs → strictly increasing docs with positive TFs.
+		var ps []Posting
+		doc := DocID(-1)
+		for i := 0; i+1 < len(data) && len(ps) < 4096; i += 2 {
+			doc += DocID(data[i]) + 1
+			ps = append(ps, Posting{Doc: doc, TF: int32(data[i+1]) + 1})
+		}
+
+		cl, err := Compress(ps)
+		if err != nil {
+			t.Fatalf("Compress rejected valid postings: %v", err)
+		}
+		got, err := cl.Decompress()
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if len(got) != len(ps) {
+			t.Fatalf("roundtrip length %d, want %d", len(got), len(ps))
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				t.Fatalf("posting %d = %+v, want %+v", i, got[i], ps[i])
+			}
+		}
+
+		if len(ps) == 0 {
+			return
+		}
+		// SeekGE must land on the first posting ≥ target for targets below,
+		// inside, and above the doc range.
+		targets := []DocID{ps[0].Doc - 1, ps[len(ps)/2].Doc, ps[len(ps)-1].Doc + 1}
+		for _, target := range targets {
+			want := -1
+			for i := range ps {
+				if ps[i].Doc >= target {
+					want = i
+					break
+				}
+			}
+			it := cl.Iterator()
+			if err := it.SeekGE(target); err != nil {
+				t.Fatalf("SeekGE(%d): %v", target, err)
+			}
+			if want == -1 {
+				if it.Valid() {
+					t.Fatalf("SeekGE(%d) landed on doc %d past the end", target, it.Doc())
+				}
+				continue
+			}
+			if !it.Valid() || it.Doc() != ps[want].Doc || it.TF() != ps[want].TF {
+				t.Fatalf("SeekGE(%d) valid=%v doc=%d, want doc %d", target, it.Valid(), it.Doc(), ps[want].Doc)
+			}
+		}
+	})
+}

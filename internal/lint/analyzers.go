@@ -1,0 +1,51 @@
+package lint
+
+import "strings"
+
+// Analyzers returns the rexlint suite with each analyzer scoped to the
+// packages of the module (modPath) where its contract applies:
+//
+//   - noglobalrand guards the whole module: reproducibility is a global
+//     property and one stray global draw anywhere breaks it.
+//   - maporder guards the solver, planner, cluster model, and simulator —
+//     the packages whose outputs must be bit-reproducible for a fixed seed.
+//   - floateq guards objective/metrics/aggregate code, where quantities are
+//     computed incrementally and exact comparison is a latent bug.
+//   - errignore guards every internal package.
+//
+// The scope lives here, in the driver policy, rather than inside the
+// analyzers, so the test harness can exercise each analyzer on fixtures
+// regardless of import path.
+func Analyzers(modPath string) []*Analyzer {
+	inModule := func(suffixes ...string) func(string) bool {
+		return func(pkgPath string) bool {
+			for _, s := range suffixes {
+				if pkgPath == modPath+s || strings.HasPrefix(pkgPath, modPath+s+"/") {
+					return true
+				}
+			}
+			return false
+		}
+	}
+
+	noGlobalRand := *NoGlobalRand
+	noGlobalRand.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
+	mapOrder := *MapOrder
+	mapOrder.AppliesTo = inModule(
+		"/internal/core", "/internal/plan", "/internal/cluster", "/internal/sim",
+	)
+
+	floatEq := *FloatEq
+	floatEq.AppliesTo = inModule(
+		"/internal/core", "/internal/plan", "/internal/cluster", "/internal/sim",
+		"/internal/metrics", "/internal/stats", "/internal/vec",
+	)
+
+	errIgnore := *ErrIgnore
+	errIgnore.AppliesTo = inModule("/internal")
+
+	return []*Analyzer{&noGlobalRand, &mapOrder, &floatEq, &errIgnore}
+}

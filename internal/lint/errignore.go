@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrIgnore flags statements that call a function returning an error and
+// drop the result on the floor. An explicit `_ =` assignment is accepted as
+// a reviewed decision; a bare call statement is treated as an oversight.
+// Deferred and go-routine calls are out of scope (defer f.Close() on a
+// read-only file is the dominant, harmless idiom), as are writers that are
+// documented never to fail: fmt printing to standard output,
+// strings.Builder, and bytes.Buffer.
+var ErrIgnore = &Analyzer{
+	Name: "errignore",
+	Doc:  "flag call statements whose error result is silently dropped",
+	Run:  runErrIgnore,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrIgnore(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s is silently dropped; handle it or assign to _ explicitly",
+				calleeName(call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's (last) result is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, errorType)
+}
+
+// exemptCall reports whether the call belongs to the never-fails allowlist.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	// Methods on writers that never return a non-nil error.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return neverFailingWriter(sig.Recv().Type())
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true // best-effort CLI output to stdout
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		if neverFailingWriter(pass.TypesInfo.TypeOf(call.Args[0])) {
+			return true
+		}
+		return isStdStream(pass, call.Args[0])
+	}
+	return false
+}
+
+// calleeFunc resolves the called *types.Func, or nil for indirect calls.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders the callee for the diagnostic message.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+// neverFailingWriter reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer, whose Write methods are documented to always succeed.
+func neverFailingWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// isStdStream reports whether e is the selector os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}

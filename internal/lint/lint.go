@@ -1,0 +1,173 @@
+// Package lint implements rexlint, the project's custom static-analysis
+// suite. It mirrors the shape of golang.org/x/tools/go/analysis — analyzers
+// receive a typed, parsed package ("pass") and report position-tagged
+// diagnostics — but is built entirely on the standard library (go/ast,
+// go/parser, go/types) so the repository carries no external dependencies.
+//
+// The suite encodes the solver's correctness contracts as machine-checked
+// rules:
+//
+//   - noglobalrand: all randomness must flow from an explicit seed
+//     (Config.Seed); global math/rand calls break run-for-run
+//     reproducibility.
+//   - maporder: map iteration order is randomized in Go; ranging over a map
+//     while appending to a slice silently injects nondeterminism into
+//     solver and planner state.
+//   - floateq: ==/!= between floats in objective/metrics code is almost
+//     always a bug; use an epsilon helper.
+//   - errignore: silently dropped error returns in internal packages.
+//
+// A diagnostic can be suppressed by a comment on the same line or the line
+// directly above it:
+//
+//	//rexlint:ignore <analyzer> <reason>
+//
+// The reason is mandatory by convention (the analyzers do not parse it, but
+// reviewers should reject bare ignores).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static-analysis rule.
+type Analyzer struct {
+	// Name is the short identifier used in output and ignore comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// AppliesTo reports whether the analyzer should run on the package with
+	// the given import path. nil means every package. The test harness
+	// ignores this field and always runs the analyzer on its fixtures.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the analysis, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding: a position and a message, tagged with the
+// analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags   *[]Diagnostic
+	ignores map[string]map[int][]string // filename → line → suppressed analyzer names
+}
+
+// Reportf records a diagnostic at pos unless an ignore comment suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether an ignore comment covers the diagnostic.
+func (p *Pass) suppressed(pos token.Position) bool {
+	lines := p.ignores[pos.Filename]
+	for _, name := range lines[pos.Line] {
+		if name == p.Analyzer.Name || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is the comment prefix that suppresses diagnostics.
+const ignoreDirective = "rexlint:ignore"
+
+// buildIgnores scans the package's comments for rexlint:ignore directives.
+// A directive suppresses the named analyzers on its own line and on the
+// line immediately below (for whole-line comments placed above the code).
+func buildIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				if len(fields) == 0 {
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers executes every analyzer that applies to pkg and returns the
+// diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := buildIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+			ignores:   ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"testing"
+
+	"rexchange/internal/lint"
+	"rexchange/internal/lint/linttest"
+)
+
+// TestAnalyzers runs each analyzer over its fixture package and checks the
+// reported diagnostics against the // want comments in the fixture.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		fixture  string
+	}{
+		{lint.NoGlobalRand, "noglobalrand"},
+		{lint.MapOrder, "maporder"},
+		{lint.FloatEq, "floateq"},
+		{lint.ErrIgnore, "errignore"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.fixture, func(t *testing.T) {
+			t.Parallel()
+			linttest.Run(t, tc.analyzer, tc.fixture)
+		})
+	}
+}
+
+// TestAnalyzerScopes pins the package-scope policy wired up by Analyzers:
+// which analyzers apply to which parts of the module.
+func TestAnalyzerScopes(t *testing.T) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.Analyzers("rexchange") {
+		byName[a.Name] = a
+	}
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"noglobalrand", "rexchange/internal/core", true},
+		{"noglobalrand", "rexchange/cmd/rexbench", true},
+		{"maporder", "rexchange/internal/core", true},
+		{"maporder", "rexchange/internal/sim", true},
+		{"maporder", "rexchange/internal/invindex", false},
+		{"floateq", "rexchange/internal/metrics", true},
+		{"floateq", "rexchange/internal/lint", false},
+		{"errignore", "rexchange/internal/plan", true},
+		{"errignore", "rexchange/cmd/rexbench", false},
+	}
+	for _, tc := range cases {
+		a, ok := byName[tc.analyzer]
+		if !ok {
+			t.Fatalf("analyzer %s not registered", tc.analyzer)
+		}
+		if got := a.AppliesTo(tc.pkg); got != tc.want {
+			t.Errorf("%s.AppliesTo(%s) = %v, want %v", tc.analyzer, tc.pkg, got, tc.want)
+		}
+	}
+}
+
+// TestLoaderLoadsModulePackages is a smoke test that the source loader can
+// typecheck a real module package (with stdlib imports) offline.
+func TestLoaderLoadsModulePackages(t *testing.T) {
+	loader := linttest.NewLoader(t)
+	pkgs, err := loader.Load([]string{"./internal/vec"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Types.Name() != "vec" {
+		t.Errorf("package name = %s, want vec", pkgs[0].Types.Name())
+	}
+	if len(pkgs[0].Files) == 0 {
+		t.Error("no files loaded for internal/vec")
+	}
+}

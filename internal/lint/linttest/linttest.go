@@ -1,0 +1,152 @@
+// Package linttest is a miniature analysistest: it runs one lint.Analyzer
+// over a fixture package in testdata/src and checks the reported
+// diagnostics against `// want "regexp"` comments in the fixture source.
+//
+// Every line carrying a want comment must produce a matching diagnostic,
+// every diagnostic must be claimed by a want comment, and multiple want
+// comments on one line demand multiple diagnostics. Fixture packages must
+// typecheck (with stdlib-only imports); rexlint's own suppression
+// directives work inside fixtures, so the harness also covers them.
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rexchange/internal/lint"
+)
+
+// wantRe extracts the expectation patterns from a // want "..." comment.
+// Several backquote- or quote-delimited patterns may follow one want.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one want pattern at a line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> as a package and checks analyzer a
+// against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	loader := NewLoader(t)
+	pkg, err := loader.LoadDir(dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+
+	// Strip the driver-policy scope: fixtures always run the analyzer.
+	unscoped := *a
+	unscoped.AppliesTo = nil
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, fixture, err)
+	}
+
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// NewLoader builds a loader rooted at the repository's module (found by
+// walking up from the package directory to go.mod).
+func NewLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("linttest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader
+}
+
+// collectWants parses every fixture file's comments for want expectations.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: path, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line that
+// matches its message, reporting success.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line {
+			continue
+		}
+		if filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

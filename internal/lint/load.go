@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files matching the default build context
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and typechecks packages from source with no external
+// dependencies and no network: module-local import paths resolve to
+// directories under the module root, and everything else resolves to
+// $GOROOT/src. This restricts rexlint to dependency-free modules — which
+// this repository is, by policy — in exchange for a fully hermetic,
+// offline driver.
+type Loader struct {
+	ModPath string // module path from go.mod
+	ModDir  string // module root directory
+
+	fset *token.FileSet
+	ctx  build.Context
+	pkgs map[string]*Package
+}
+
+// NewLoader creates a Loader for the module rooted at modDir. The module
+// path is read from go.mod.
+func NewLoader(modDir string) (*Loader, error) {
+	modPath, err := readModulePath(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &Loader{
+		ModPath: modPath,
+		ModDir:  modDir,
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("lint: read module file: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", path)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// dirFor resolves an import path to a source directory.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.ModPath {
+		return l.ModDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModDir, filepath.FromSlash(rest)), nil
+	}
+	dir := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q (only module-local and standard-library imports are supported)", path)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// load parses and typechecks the package at the given import path,
+// memoizing the result.
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir typechecks a single directory under the given synthetic import
+// path, without registering it for import by other packages. It is used by
+// the analyzer test harness on testdata fixtures.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	return l.check(asPath, dir, files)
+}
+
+// check typechecks parsed files as one package.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor(l.ctx.Compiler, l.ctx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// parseDir parses the buildable non-test Go files of dir, honoring build
+// constraints under the default build context.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ok, err := l.ctx.MatchFile(dir, name)
+		if err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load resolves the given package patterns (import paths relative to the
+// module root; a trailing "/..." matches the whole subtree) and returns the
+// loaded packages in deterministic order. Directories named testdata or
+// vendor and hidden directories are skipped.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	paths, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand turns patterns into a sorted list of import paths that contain
+// buildable Go files.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(importPath, dir string) error {
+		if seen[importPath] {
+			return nil
+		}
+		files, err := l.parseDir(dir)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil // test-only or empty directory
+		}
+		seen[importPath] = true
+		out = append(out, importPath)
+		return nil
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		recursive := false
+		if pat == "..." {
+			pat, recursive = "", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		root := filepath.Join(l.ModDir, filepath.FromSlash(pat))
+		if !recursive {
+			importPath := l.ModPath
+			if pat != "" {
+				importPath += "/" + pat
+			}
+			if err := add(importPath, root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			rel, err := filepath.Rel(l.ModDir, p)
+			if err != nil {
+				return err
+			}
+			importPath := l.ModPath
+			if rel != "." {
+				importPath += "/" + filepath.ToSlash(rel)
+			}
+			return add(importPath, p)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: expand %q: %w", pat, err)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

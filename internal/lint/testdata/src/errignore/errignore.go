@@ -1,0 +1,41 @@
+// Fixture for the errignore analyzer: bare call statements dropping an
+// error are flagged; explicit `_ =`, defers, and never-failing writers are
+// not.
+package errignore
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+func bad(f *os.File) {
+	mayFail()    // want `error result of mayFail is silently dropped`
+	twoResults() // want `error result of twoResults is silently dropped`
+	f.Close()    // want `error result of f\.Close is silently dropped`
+}
+
+func good(f *os.File) string {
+	_ = mayFail()   // explicit drop: reviewed decision
+	defer f.Close() // deferred close: out of scope
+	noError()
+	var b strings.Builder
+	b.WriteString("x")       // strings.Builder never fails
+	fmt.Fprintf(&b, "%d", 1) // fmt to a never-failing writer
+	fmt.Println("done")
+	fmt.Fprintln(os.Stderr, "warn")
+	if err := mayFail(); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+func ignored() {
+	mayFail() //rexlint:ignore errignore best-effort cleanup
+}

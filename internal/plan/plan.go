@@ -135,6 +135,9 @@ func (pl Planner) Build(from, to *cluster.Placement) (*Plan, error) {
 			if w.CanPlace(s, t) {
 				plan.Moves = append(plan.Moves, Move{S: s, From: w.Home(s), To: t})
 				w.Move(s, t)
+				if cluster.DebugAsserts {
+					w.MustInvariants("plan direct move")
+				}
 				delete(pendingSet, s)
 				progress = true
 			}
@@ -214,6 +217,9 @@ func (pl Planner) stageOne(
 			pendingSet[victim] = true // must return to its (unchanged) target
 		}
 		w.Move(victim, m)
+		if cluster.DebugAsserts {
+			w.MustInvariants("plan staging move")
+		}
 		hops[victim]++
 		return true
 	}
@@ -327,6 +333,9 @@ func (p *Plan) Validate(from *cluster.Placement) (*cluster.Placement, error) {
 				i, mv.S, mv.To)
 		}
 		w.Move(mv.S, mv.To)
+		if cluster.DebugAsserts {
+			w.MustInvariants("plan replay step")
+		}
 	}
 	return w, nil
 }

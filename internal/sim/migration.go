@@ -92,6 +92,32 @@ func SimulateMigration(from *cluster.Placement, p *plan.Plan, cfg MigrationConfi
 	now := 0.0
 	next := 0 // next plan move to start
 
+	// assertTransient recomputes transient occupancy from shard locations
+	// plus in-flight destination reservations and compares it with the
+	// incrementally maintained used vectors, also checking capacity. Only
+	// called under -tags debugasserts.
+	assertTransient := func(context string) {
+		want := make([]vec.Vec, c.NumMachines())
+		for s := 0; s < c.NumShards(); s++ {
+			if m := loc[s]; m != cluster.Unassigned {
+				want[m] = want[m].Add(c.Shards[s].Static)
+			}
+		}
+		for _, f := range active {
+			want[f.move.To] = want[f.move.To].Add(c.Shards[f.move.S].Static)
+		}
+		for m := range want {
+			if !want[m].AlmostEqual(used[m], 1e-6) {
+				panic(fmt.Sprintf("sim: invariant violation after %s: machine %d used %v, recomputed %v",
+					context, m, used[m], want[m]))
+			}
+			if !used[m].LEQ(c.Machines[m].Capacity.Add(vec.Uniform(1e-9))) {
+				panic(fmt.Sprintf("sim: invariant violation after %s: machine %d used %v exceeds capacity %v",
+					context, m, used[m], c.Machines[m].Capacity))
+			}
+		}
+	}
+
 	for next < len(p.Moves) || active.Len() > 0 {
 		// start as many in-order moves as possible
 		for next < len(p.Moves) && active.Len() < cfg.Concurrency {
@@ -117,6 +143,9 @@ func SimulateMigration(from *cluster.Placement, p *plan.Plan, cfg MigrationConfi
 			rep.Bytes += size
 			rep.Steps++
 			next++
+			if cluster.DebugAsserts {
+				assertTransient("reserving move")
+			}
 		}
 		if active.Len() == 0 {
 			if next < len(p.Moves) {
@@ -134,6 +163,9 @@ func SimulateMigration(from *cluster.Placement, p *plan.Plan, cfg MigrationConfi
 		used[mv.From] = used[mv.From].Sub(c.Shards[mv.S].Static)
 		loc[mv.S] = mv.To
 		delete(inFlight, mv.S)
+		if cluster.DebugAsserts {
+			assertTransient("completing move")
+		}
 	}
 	rep.Duration = now
 	return rep, nil

@@ -8,11 +8,17 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"rexchange/internal/cluster"
 	"rexchange/internal/stats"
 	"rexchange/internal/workload"
 )
+
+// timeEps is the tolerance for comparing simulated timestamps: two replicas
+// whose earliest-free times agree within it are tied and fall through to the
+// committed-time tie-break.
+const timeEps = 1e-9
 
 // Routing selects how queries pick among replicas of a logical shard
 // (shards sharing a cluster.Shard.Group).
@@ -136,9 +142,17 @@ func Run(p *cluster.Placement, tr *workload.Trace, cfg Config) (*Report, error) 
 	if len(serving) == 0 {
 		return nil, fmt.Errorf("sim: placement has no serving machines")
 	}
+	// Route groups in sorted-ID order: map iteration order would leak into
+	// the round-robin counters and the least-loaded tie-breaks, making the
+	// simulated latencies depend on the run rather than the seed.
+	groupIDs := make([]int, 0, len(groups))
+	for gid := range groups {
+		groupIDs = append(groupIDs, gid)
+	}
+	sort.Ints(groupIDs)
 	groupList := make([]*replicaGroup, 0, len(groups))
-	for _, g := range groups {
-		groupList = append(groupList, g)
+	for _, gid := range groupIDs {
+		groupList = append(groupList, groups[gid])
 	}
 
 	// FIFO multi-server queues: serverFree[m][k] is when server k of
@@ -188,7 +202,7 @@ func Run(p *cluster.Placement, tr *workload.Trace, cfg Config) (*Report, error) 
 				bestEF, bestCom := earliestFree(pick, q.At)
 				for _, m := range g.machines[1:] {
 					ef, com := earliestFree(m, q.At)
-					if ef < bestEF || (ef == bestEF && com < bestCom) {
+					if ef < bestEF || (stats.AlmostEqual(ef, bestEF, timeEps) && com < bestCom) {
 						pick, bestEF, bestCom = m, ef, com
 					}
 				}
