@@ -12,8 +12,10 @@ import (
 
 // Placement is a (possibly partial) assignment of shards to machines with
 // incrementally maintained per-machine aggregates. All mutating operations
-// are O(1); Clone is O(shards + machines). Placement is not safe for
-// concurrent mutation; parallel searches clone first.
+// are O(1); Clone is O(shards + machines). Speculative mutation batches can
+// be undone in O(mutations) via the BeginTxn/Commit/Rollback journal
+// (txn.go) instead of cloning. Placement is not safe for concurrent
+// mutation; parallel searches clone first.
 type Placement struct {
 	c    *Cluster
 	home []MachineID // per shard; Unassigned while removed
@@ -27,6 +29,10 @@ type Placement struct {
 	// groups[m] counts shards per anti-affinity group on machine m; nil
 	// until a grouped shard lands there.
 	groups []map[int]int
+
+	// undo journal (see txn.go); records mutations while txnActive.
+	txnActive bool
+	txnLog    []txnRec
 }
 
 // NewPlacement creates an empty placement (all shards unassigned) for c.
@@ -107,6 +113,11 @@ func (p *Placement) ShardsOn(m MachineID) []ShardID {
 	return append([]ShardID(nil), p.on[m]...)
 }
 
+// ShardAt returns the i-th shard hosted on machine m (0 ≤ i < Count(m)).
+// The index is only stable while the placement is not mutated; hot paths
+// use it to snapshot a machine's shards without allocating.
+func (p *Placement) ShardAt(m MachineID, i int) ShardID { return p.on[m][i] }
+
 // EachShardOn calls f for every shard on machine m. f must not mutate the
 // placement.
 func (p *Placement) EachShardOn(m MachineID, f func(ShardID)) {
@@ -156,6 +167,12 @@ func (p *Placement) GroupCount(m MachineID, g int) int {
 // place links shard s to machine m, updating aggregates. It assumes s is
 // currently unassigned.
 func (p *Placement) place(s ShardID, m MachineID) {
+	if p.txnActive {
+		p.txnLog = append(p.txnLog, txnRec{
+			s: s, m: m, place: true,
+			prevUsed: p.used[m], prevLoad: p.load[m],
+		})
+	}
 	sh := &p.c.Shards[s]
 	p.home[s] = m
 	p.used[m] = p.used[m].Add(sh.Static)
@@ -178,6 +195,12 @@ func (p *Placement) place(s ShardID, m MachineID) {
 // s is currently assigned.
 func (p *Placement) unplace(s ShardID) {
 	m := p.home[s]
+	if p.txnActive {
+		p.txnLog = append(p.txnLog, txnRec{
+			s: s, m: m, place: false, pos: p.pos[s],
+			prevUsed: p.used[m], prevLoad: p.load[m],
+		})
+	}
 	sh := &p.c.Shards[s]
 	p.used[m] = p.used[m].Sub(sh.Static)
 	p.load[m] -= sh.Load
@@ -255,7 +278,10 @@ func (p *Placement) MoveChecked(s ShardID, m MachineID) bool {
 	return true
 }
 
-// Clone returns a deep copy sharing the (immutable) cluster.
+// Clone returns a deep copy sharing the (immutable) cluster. The clone
+// starts with no undo journal: cloning mid-transaction captures the current
+// (possibly partially mutated) state, and rolling back the original does
+// not affect the clone.
 func (p *Placement) Clone() *Placement {
 	q := &Placement{
 		c:          p.c,

@@ -95,6 +95,11 @@ type Config struct {
 	// KeepTrajectory records the best objective after every iteration
 	// (experiment F4).
 	KeepTrajectory bool
+
+	// refKernel (tests only) runs the retained clone-and-rescan reference
+	// kernel instead of the delta kernel. Both must produce bit-identical
+	// results for a fixed seed; see TestKernelEquivalence.
+	refKernel bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -140,6 +145,10 @@ type Result struct {
 	Accepted       int
 	RepairFailures int
 	PlanFallbacks  int
+	// FailedRestarts counts portfolio restarts that returned an error in
+	// SolveParallel (always 0 for Solve). A non-zero value means the
+	// returned best came from a degraded portfolio.
+	FailedRestarts int
 	// Trajectory is the best objective after each iteration when
 	// Config.KeepTrajectory is set.
 	Trajectory []float64

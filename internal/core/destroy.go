@@ -14,14 +14,20 @@ type errorString string
 
 func (e errorString) Error() string { return string(e) }
 
-// destroyRandom removes q uniformly random shards.
+// destroyRandom removes q uniformly random shards via a partial
+// Fisher-Yates shuffle over a persistent scratch permutation. The buffer is
+// reset to the identity each call — same cost as the allocation it replaces
+// and it keeps the sampled prefix identical draw-for-draw to a fresh array —
+// so the hot loop allocates nothing without perturbing the trajectory.
 func (st *state) destroyRandom(q int) {
 	n := st.cur.Cluster().NumShards()
-	// partial Fisher-Yates over shard IDs
-	ids := make([]cluster.ShardID, n)
-	for i := range ids {
-		ids[i] = cluster.ShardID(i)
+	if len(st.shardPerm) != n {
+		st.shardPerm = make([]cluster.ShardID, n)
 	}
+	for i := range st.shardPerm {
+		st.shardPerm[i] = cluster.ShardID(i)
+	}
+	ids := st.shardPerm
 	for i := 0; i < q && i < n; i++ {
 		j := i + st.rng.Intn(n-i)
 		ids[i], ids[j] = ids[j], ids[i]
@@ -79,11 +85,7 @@ func (st *state) destroyRelated(q int) {
 	loadScale := maxShardLoad(c)
 	staticScale := maxShardStatic(c)
 
-	type scored struct {
-		s    cluster.ShardID
-		dist float64
-	}
-	all := make([]scored, 0, n)
+	all := st.relScratch[:0]
 	for i := 0; i < n; i++ {
 		s := cluster.ShardID(i)
 		if s == seed {
@@ -100,18 +102,38 @@ func (st *state) destroyRelated(q int) {
 		if st.cur.Home(s) != seedHome {
 			d += 0.3
 		}
-		all = append(all, scored{s, d})
+		all = append(all, relScored{s, d})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].dist != all[j].dist {
-			return all[i].dist < all[j].dist
-		}
-		return all[i].s < all[j].s
-	})
+	st.relScratch = all
+	st.relSorter.a = all
+	sort.Sort(&st.relSorter)
 	st.removeToPool(seed)
 	for i := 0; i < q-1 && i < len(all); i++ {
 		st.removeToPool(all[i].s)
 	}
+}
+
+// relScored pairs a shard with its Shaw-relatedness distance to the seed.
+type relScored struct {
+	s    cluster.ShardID
+	dist float64
+}
+
+// relSorter orders relScored ascending by (dist, shard ID). The state holds
+// one instance and sorts through a pointer receiver, so the hot loop pays
+// no sort.Slice closure allocation.
+type relSorter struct{ a []relScored }
+
+func (r *relSorter) Len() int      { return len(r.a) }
+func (r *relSorter) Swap(i, j int) { r.a[i], r.a[j] = r.a[j], r.a[i] }
+func (r *relSorter) Less(i, j int) bool {
+	if r.a[i].dist < r.a[j].dist {
+		return true
+	}
+	if r.a[i].dist > r.a[j].dist {
+		return false
+	}
+	return r.a[i].s < r.a[j].s
 }
 
 // destroyDrain empties one machine entirely, making it returnable as
@@ -121,35 +143,54 @@ func (st *state) destroyRelated(q int) {
 func (st *state) destroyDrain(q int) {
 	c := st.cur.Cluster()
 	limit := q + 4
-	type cand struct {
-		m     cluster.MachineID
-		count int
-		util  float64
-	}
-	var cands []cand
+	cands := st.drainScratch[:0]
 	for m := 0; m < c.NumMachines(); m++ {
 		id := cluster.MachineID(m)
 		cnt := st.cur.Count(id)
 		if cnt == 0 || cnt > limit {
 			continue
 		}
-		cands = append(cands, cand{id, cnt, st.cur.Utilization(id)})
+		cands = append(cands, drainCand{id, st.cur.Utilization(id)})
 	}
+	st.drainScratch = cands
 	if len(cands) == 0 {
 		st.destroyRandom(q)
 		return
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].util != cands[j].util {
-			return cands[i].util < cands[j].util
-		}
-		return cands[i].m < cands[j].m
-	})
+	st.drainSorter.a = cands
+	sort.Sort(&st.drainSorter)
 	// pick among the 4 easiest-to-drain machines for diversification
 	pick := cands[st.rng.Intn(min(4, len(cands)))]
-	for _, s := range st.cur.ShardsOn(pick.m) {
+	ids := st.drainIDScratch[:0]
+	for i, n := 0, st.cur.Count(pick.m); i < n; i++ {
+		ids = append(ids, st.cur.ShardAt(pick.m, i))
+	}
+	st.drainIDScratch = ids
+	for _, s := range ids {
 		st.removeToPool(s)
 	}
+}
+
+// drainCand is a drainable machine and its utilization.
+type drainCand struct {
+	m    cluster.MachineID
+	util float64
+}
+
+// drainSorter orders drainCand ascending by (utilization, machine ID);
+// pointer receiver for the same zero-allocation reason as relSorter.
+type drainSorter struct{ a []drainCand }
+
+func (d *drainSorter) Len() int      { return len(d.a) }
+func (d *drainSorter) Swap(i, j int) { d.a[i], d.a[j] = d.a[j], d.a[i] }
+func (d *drainSorter) Less(i, j int) bool {
+	if d.a[i].util < d.a[j].util {
+		return true
+	}
+	if d.a[i].util > d.a[j].util {
+		return false
+	}
+	return d.a[i].m < d.a[j].m
 }
 
 // removeToPool unassigns s and records it for repair.

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/workload"
+)
+
+// bigFleetInstance builds an instance large enough to exercise the
+// heap-based candidate selection (which only engages above 32 machines).
+func bigFleetInstance(t *testing.T, machines int) *cluster.Placement {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Machines = machines
+	cfg.Shards = machines * 10
+	cfg.TargetFill = 0.7
+	cfg.Seed = 7
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Placement
+}
+
+// resultsBitIdentical fails unless a (delta kernel) and b (reference
+// kernel) are indistinguishable: same final assignment, Float64bits-equal
+// objective and trajectory, same search accounting. This is the golden
+// equivalence contract the delta kernel must uphold.
+func resultsBitIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if math.Float64bits(a.Objective) != math.Float64bits(b.Objective) {
+		t.Fatalf("%s: objective %v vs %v — not bit-identical", label, a.Objective, b.Objective)
+	}
+	aa, ba := a.Final.Assignment(), b.Final.Assignment()
+	for s := range aa {
+		if aa[s] != ba[s] {
+			t.Fatalf("%s: shard %d assigned to %d vs %d", label, s, aa[s], ba[s])
+		}
+	}
+	if a.Accepted != b.Accepted || a.RepairFailures != b.RepairFailures {
+		t.Fatalf("%s: accounting diverged: accepted %d/%d, repair failures %d/%d",
+			label, a.Accepted, b.Accepted, a.RepairFailures, b.RepairFailures)
+	}
+	if a.MovedShards != b.MovedShards {
+		t.Fatalf("%s: moved %d vs %d", label, a.MovedShards, b.MovedShards)
+	}
+	if len(a.Trajectory) != len(b.Trajectory) {
+		t.Fatalf("%s: trajectory length %d vs %d", label, len(a.Trajectory), len(b.Trajectory))
+	}
+	for i := range a.Trajectory {
+		if math.Float64bits(a.Trajectory[i]) != math.Float64bits(b.Trajectory[i]) {
+			t.Fatalf("%s: trajectory[%d] %v vs %v", label, i, a.Trajectory[i], b.Trajectory[i])
+		}
+	}
+}
+
+// TestKernelEquivalence is the golden test for the delta kernel: for fixed
+// seeds, the journal-based in-place kernel and the retained clone-and-rescan
+// reference kernel must produce byte-identical results — every destroy ×
+// repair operator pair, plus the full adaptive portfolio.
+func TestKernelEquivalence(t *testing.T) {
+	type opCase struct {
+		name string
+		ops  OperatorSet
+	}
+	var cases []opCase
+	destroys := []struct {
+		name string
+		set  func(*OperatorSet)
+	}{
+		{"random", func(o *OperatorSet) { o.RandomRemove = true }},
+		{"worst", func(o *OperatorSet) { o.WorstRemove = true }},
+		{"related", func(o *OperatorSet) { o.RelatedRemove = true }},
+		{"drain", func(o *OperatorSet) { o.DrainRemove = true }},
+	}
+	repairs := []struct {
+		name string
+		set  func(*OperatorSet)
+	}{
+		{"greedy", func(o *OperatorSet) { o.GreedyRepair = true }},
+		{"regret", func(o *OperatorSet) { o.RegretRepair = true }},
+	}
+	for _, d := range destroys {
+		for _, r := range repairs {
+			var ops OperatorSet
+			d.set(&ops)
+			r.set(&ops)
+			cases = append(cases, opCase{d.name + "+" + r.name, ops})
+		}
+	}
+	cases = append(cases, opCase{"full-portfolio", DefaultConfig().Operators})
+
+	for _, tc := range cases {
+		for _, seed := range []int64{1, 17} {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				p := smallInstance(t, seed, 2)
+				cfg := quickConfig()
+				cfg.Seed = seed
+				cfg.Operators = tc.ops
+				cfg.KeepTrajectory = true
+
+				delta, err := New(cfg).Solve(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refCfg := cfg
+				refCfg.refKernel = true
+				ref, err := New(refCfg).Solve(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsBitIdentical(t, tc.name, delta, ref)
+			})
+		}
+	}
+}
+
+// TestKernelEquivalenceParallel extends the golden contract to the restart
+// portfolio: SolveParallel must pick bit-identical winners under both
+// kernels.
+func TestKernelEquivalenceParallel(t *testing.T) {
+	p := smallInstance(t, 5, 2)
+	cfg := quickConfig()
+	cfg.KeepTrajectory = true
+
+	delta, err := New(cfg).SolveParallel(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := cfg
+	refCfg.refKernel = true
+	ref, err := New(refCfg).SolveParallel(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitIdentical(t, "parallel", delta, ref)
+	if delta.FailedRestarts != 0 || ref.FailedRestarts != 0 {
+		t.Fatalf("unexpected failed restarts: %d/%d", delta.FailedRestarts, ref.FailedRestarts)
+	}
+}
+
+// TestIncrementalObjectiveMatchesReference fuzzes the incremental objective
+// against the full-rescan reference over random journaled mutation batches —
+// including rejected (rolled back) batches, whose state must keep matching
+// afterwards.
+func TestIncrementalObjectiveMatchesReference(t *testing.T) {
+	p := smallInstance(t, 23, 2)
+	cfg := quickConfig()
+	cfg.Seed = 23
+	st := newState(cfg, p, 2)
+	st.curObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+	st.initIncremental()
+
+	c := st.cur.Cluster()
+	n := c.NumShards()
+	for round := 0; round < 400; round++ {
+		st.cur.BeginTxn()
+		st.saveObjState()
+		// Random batch: remove a handful of shards, re-place them anywhere
+		// they statically fit (the incremental state must track any legal
+		// mutation sequence, not just solver-shaped ones).
+		batch := 1 + st.rng.Intn(6)
+		for b := 0; b < batch; b++ {
+			s := cluster.ShardID(st.rng.Intn(n))
+			if st.cur.Home(s) == cluster.Unassigned {
+				continue
+			}
+			if err := st.cur.Remove(s); err != nil {
+				t.Fatal(err)
+			}
+			for try := 0; try < 8; try++ {
+				m := cluster.MachineID(st.rng.Intn(c.NumMachines()))
+				if st.cur.PlaceChecked(s, m) {
+					break
+				}
+			}
+		}
+		st.syncTouched()
+		got := st.evalIncremental()
+		want := objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("round %d: incremental %v vs reference %v", round, got, want)
+		}
+		// Alternate accept/reject so both paths stay exercised.
+		if round%2 == 0 {
+			st.cur.Commit()
+		} else {
+			st.rollbackIncremental()
+			got := st.evalIncremental()
+			want := objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("round %d: post-rollback incremental %v vs reference %v", round, got, want)
+			}
+		}
+	}
+}
+
+// TestCandidateMachinesDistinct pins the dedupe fix: the candidate subset
+// must never contain a machine twice (duplicate random extras used to
+// silently shrink candidate diversity).
+func TestCandidateMachinesDistinct(t *testing.T) {
+	p := bigFleetInstance(t, 64)
+	cfg := quickConfig()
+	st := newState(cfg, p, 0)
+	for round := 0; round < 50; round++ {
+		cands := st.candidateMachines()
+		if len(cands) != 32 {
+			t.Fatalf("round %d: %d candidates, want 32", round, len(cands))
+		}
+		seen := map[cluster.MachineID]bool{}
+		for _, m := range cands {
+			if seen[m] {
+				t.Fatalf("round %d: duplicate candidate machine %d", round, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestBestTwoMachinesFor checks the full-scan fallback against a brute
+// force: c1/c2 must be the true lowest and second-lowest feasible insertion
+// costs (the bug this replaces left c2 at +Inf, inflating every fallback
+// regret to ~1e18).
+func TestBestTwoMachinesFor(t *testing.T) {
+	p := smallInstance(t, 31, 2)
+	cfg := quickConfig()
+	st := newState(cfg, p, 2)
+	c := st.cur.Cluster()
+
+	tested := 0
+	for s := 0; s < c.NumShards(); s += 7 {
+		sid := cluster.ShardID(s)
+		if err := st.cur.Remove(sid); err != nil {
+			t.Fatal(err)
+		}
+		_, c1, c2 := st.bestTwoMachinesFor(sid)
+
+		var costs []float64
+		for m := 0; m < c.NumMachines(); m++ {
+			id := cluster.MachineID(m)
+			if st.canInsert(sid, id) {
+				costs = append(costs, st.insertCost(sid, id))
+			}
+		}
+		lo, lo2 := math.Inf(1), math.Inf(1)
+		for _, v := range costs {
+			if v < lo {
+				lo2 = lo
+				lo = v
+			} else if v < lo2 {
+				lo2 = v
+			}
+		}
+		// The scan breaks sub-epsilon cost ties by slack, so allow the
+		// documented 1e-12 tie tolerance (the bug being pinned is 18 orders
+		// of magnitude larger).
+		if math.Abs(c1-lo) > 1e-9 {
+			t.Fatalf("shard %d: c1 = %v, brute force %v", s, c1, lo)
+		}
+		if math.Abs(c2-lo2) > 1e-9 && !(math.IsInf(c2, 1) && math.IsInf(lo2, 1)) {
+			t.Fatalf("shard %d: c2 = %v, brute force second-best %v", s, c2, lo2)
+		}
+		if len(costs) >= 2 && math.IsInf(c2, 1) {
+			t.Fatalf("shard %d: c2 is +Inf with %d feasible machines", s, len(costs))
+		}
+		if err := st.cur.Place(sid, st.initial[sid]); err != nil {
+			t.Fatal(err)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no shards tested")
+	}
+}
+
+// TestReduceOutcomes covers the restart-failure accounting satellite.
+func TestReduceOutcomes(t *testing.T) {
+	res := func(obj float64) *Result { return &Result{Objective: obj} }
+
+	best, err := reduceOutcomes([]outcome{
+		{res(0.7), nil},
+		{nil, errors.New("boom")},
+		{res(0.5), nil},
+		{nil, errors.New("bust")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Objective != 0.5 {
+		t.Errorf("picked objective %v, want 0.5", best.Objective)
+	}
+	if best.FailedRestarts != 2 {
+		t.Errorf("FailedRestarts = %d, want 2", best.FailedRestarts)
+	}
+
+	_, err = reduceOutcomes([]outcome{
+		{nil, errors.New("first")},
+		{nil, errors.New("second")},
+	})
+	if err == nil {
+		t.Fatal("all-failed portfolio must error")
+	}
+}

@@ -18,6 +18,10 @@ import (
 // Determinism: for a fixed (Config.Seed, restarts) the set of searches and
 // the returned result are reproducible regardless of scheduling, because
 // selection uses the objective with the restart index as tie-breaker.
+//
+// Individual restart failures do not abort the portfolio: the best
+// successful result is returned with Result.FailedRestarts counting the
+// losses, and an error is returned only when every restart failed.
 func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, error) {
 	if restarts <= 0 {
 		restarts = runtime.GOMAXPROCS(0)
@@ -26,10 +30,6 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 		return sv.Solve(p)
 	}
 
-	type outcome struct {
-		res *Result
-		err error
-	}
 	outcomes := make([]outcome, restarts)
 	var wg sync.WaitGroup
 	// Cap concurrent workers at GOMAXPROCS: each clones the placement and
@@ -49,12 +49,29 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 		}(i)
 	}
 	wg.Wait()
+	return reduceOutcomes(outcomes)
+}
 
+// outcome is one restart's result in the portfolio.
+type outcome struct {
+	res *Result
+	err error
+}
+
+// reduceOutcomes selects the best successful restart by objective (ties
+// resolved by restart index, never completion order, preserving the
+// determinism contract). Partially failed portfolios are not silent: the
+// number of failed restarts is recorded in the winner's FailedRestarts so
+// callers can detect a degraded portfolio. Only when every restart fails
+// does the reduction return an error (wrapping the first, by index).
+func reduceOutcomes(outcomes []outcome) (*Result, error) {
 	var best *Result
 	var firstErr error
+	failed := 0
 	for i := range outcomes {
 		o := outcomes[i]
 		if o.err != nil {
+			failed++
 			if firstErr == nil {
 				firstErr = o.err
 			}
@@ -65,7 +82,8 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: all %d restarts failed: %w", restarts, firstErr)
+		return nil, fmt.Errorf("core: all %d restarts failed: %w", len(outcomes), firstErr)
 	}
+	best.FailedRestarts = failed
 	return best, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -35,10 +36,40 @@ type state struct {
 
 	pool []cluster.ShardID // shards removed by the current destroy
 
+	// Incremental objective state (incremental.go) and its per-iteration
+	// snapshot of the lazy maximum.
+	obj           objState
+	touched       []touchRec
+	savedMaxU     float64
+	savedMaxM     int
+	savedMaxDirty bool
+
+	// Reusable scratch so the hot loop is allocation-free: a persistent
+	// shard permutation for destroyRandom, sortable candidate pools for
+	// the related/drain destroyers, and the candidate-machine and
+	// remaining-pool buffers for regret repair.
+	shardPerm      []cluster.ShardID
+	relScratch     []relScored
+	relSorter      relSorter
+	drainScratch   []drainCand
+	drainSorter    drainSorter
+	drainIDScratch []cluster.ShardID
+	candScratch    []cluster.MachineID
+	candHeap       []machUtil
+	remainScratch  []cluster.ShardID
+	poolSorter     poolSorter
+
 	trajectory     []float64
 	accepted       int
 	repairFailures int
 	planFallbacks  int
+}
+
+// touchRec is one journal entry mirrored into core: the shard and machine a
+// neighborhood mutation touched.
+type touchRec struct {
+	s cluster.ShardID
+	m cluster.MachineID
 }
 
 type destroyOp struct {
@@ -92,12 +123,26 @@ func uniformWeights(n int) []float64 {
 }
 
 // run executes the LNS loop.
+//
+// The production path is the delta kernel: each iteration opens an undo
+// journal on the placement, applies destroy+repair in place, evaluates the
+// objective incrementally (incremental.go), and commits or rolls back in
+// O(mutations touched). With cfg.refKernel set (tests only) the loop
+// instead clones the placement up front and rescans the full objective —
+// the retained reference behaviour. Both paths perform bit-identical
+// arithmetic and consume the RNG identically, so for a fixed seed they must
+// produce the same Result; TestKernelEquivalence enforces this, and under
+// -tags debugasserts every delta evaluation is cross-checked against the
+// reference objective.
 func (st *state) run() {
 	cfg := st.cfg
 	st.curObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
 	st.best = st.cur.Clone()
 	st.bestObj = st.curObj
 	st.improving = append(st.improving, st.best)
+	if !cfg.refKernel {
+		st.initIncremental()
+	}
 
 	t0 := cfg.TempFrac * st.curObj
 	tEnd := cfg.EndTempFrac * st.curObj
@@ -116,7 +161,13 @@ func (st *state) run() {
 	}
 
 	for it := 0; it < cfg.Iterations; it++ {
-		snap := st.cur.Clone()
+		var snap *cluster.Placement
+		if cfg.refKernel {
+			snap = st.cur.Clone()
+		} else {
+			st.cur.BeginTxn()
+			st.saveObjState()
+		}
 
 		// destroy size: jitter around baseQ in [MinDestroy, MaxDestroy]
 		q := cfg.MinDestroy
@@ -144,10 +195,30 @@ func (st *state) run() {
 
 		reward := 0.0
 		if !ok {
-			st.cur = snap
+			// Discard the neighborhood. The incremental objective state
+			// was not synced yet, so rolling the placement back is enough.
+			if cfg.refKernel {
+				st.cur = snap
+			} else {
+				st.cur.Rollback()
+			}
 			st.repairFailures++
 		} else {
-			newObj := objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+			var newObj float64
+			if cfg.refKernel {
+				newObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+			} else {
+				st.syncTouched()
+				newObj = st.evalIncremental()
+				if cluster.DebugAsserts {
+					ref := objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
+					if math.Float64bits(newObj) != math.Float64bits(ref) {
+						panic(fmt.Sprintf(
+							"core: incremental objective %v diverged from reference %v at iteration %d",
+							newObj, ref, it))
+					}
+				}
+			}
 			accept := newObj <= st.curObj+1e-12
 			if !accept && !cfg.HillClimb {
 				t := tempAt(t0, tEnd, it, cfg.Iterations)
@@ -156,6 +227,9 @@ func (st *state) run() {
 				}
 			}
 			if accept {
+				if !cfg.refKernel {
+					st.cur.Commit()
+				}
 				st.accepted++
 				improvedCur := newObj < st.curObj
 				st.curObj = newObj
@@ -171,7 +245,11 @@ func (st *state) run() {
 					reward = 0.4
 				}
 			} else {
-				st.cur = snap
+				if cfg.refKernel {
+					st.cur = snap
+				} else {
+					st.rollbackIncremental()
+				}
 			}
 		}
 		if cfg.Adaptive {

@@ -248,9 +248,22 @@ func Run(p *cluster.Placement, tr *workload.Trace, cfg Config) (*Report, error) 
 		}
 	}
 
+	// Busy fractions are normalized by the span the servers were actually
+	// observable: traces without an explicit Duration used to fall back to
+	// the last *arrival* time, but committed service extends past it — tasks
+	// arriving near the end still run to completion — so busy/(duration·cores)
+	// could exceed 1.0. Normalizing by the latest task finish (never less
+	// than a declared Duration) keeps every fraction in [0, 1].
 	duration := tr.Duration
+	for _, m := range serving {
+		for _, f := range serverFree[m] {
+			if f > duration {
+				duration = f
+			}
+		}
+	}
 	if duration <= 0 {
-		duration = tr.Queries[len(tr.Queries)-1].At
+		duration = 1 // no declared span and no work: fractions are all zero
 	}
 	rep := &Report{
 		Queries:     len(tr.Queries),

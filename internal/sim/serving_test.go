@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"rexchange/internal/workload"
+)
+
+// TestBusyFractionBounded is the regression test for the busy-fraction
+// denominator: a trace with no declared Duration used to be normalized by
+// the last *arrival* time, so a backlog of expensive queries pushed the
+// "fraction" past 1.0. Busy must be a true fraction of observable server
+// time, whatever the trace declares.
+func TestBusyFractionBounded(t *testing.T) {
+	p := mkPlacement(t, []float64{10, 10})
+
+	// All arrivals land in the first second, each query costing far more
+	// than one second of service: the queues drain long after the last
+	// arrival.
+	tr := &workload.Trace{}
+	for i := 0; i < 40; i++ {
+		tr.Queries = append(tr.Queries, workload.Query{
+			At:   float64(i) * 0.025,
+			Cost: 500,
+		})
+	}
+
+	for _, dur := range []float64{0, 0.5} {
+		tr.Duration = dur
+		rep, err := Run(p, tr, DefaultConfig())
+		if err != nil {
+			t.Fatalf("Duration=%v: %v", dur, err)
+		}
+		for m, frac := range rep.MachineBusy {
+			if frac < 0 || frac > 1 {
+				t.Errorf("Duration=%v: machine %d busy fraction %v outside [0,1]", dur, m, frac)
+			}
+		}
+		if rep.MaxBusy < 0 || rep.MaxBusy > 1 {
+			t.Errorf("Duration=%v: MaxBusy = %v outside [0,1]", dur, rep.MaxBusy)
+		}
+		// The scenario saturates the machines: the fix must not collapse the
+		// fraction toward zero either.
+		if rep.MaxBusy < 0.5 {
+			t.Errorf("Duration=%v: MaxBusy = %v, want near-saturated", dur, rep.MaxBusy)
+		}
+	}
+}
