@@ -50,6 +50,7 @@ func run() error {
 		simulate  = flag.Bool("simulate", false, "also simulate migration execution")
 		bandwidth = flag.Float64("bandwidth", 100, "migration bandwidth (disk units/s)")
 		parallel  = flag.Int("parallel", 2, "concurrent migrations")
+		planOut   = flag.String("plan-out", "", "write the move schedule as JSON (replayable with rexd -plan-in)")
 	)
 	flag.Parse()
 
@@ -118,6 +119,13 @@ func run() error {
 		fmt.Printf("moved %d shards in %d steps\n", res.MovedShards, res.Plan.NumMoves())
 	default:
 		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	if *planOut != "" {
+		if err := schedule.SaveFile(*planOut); err != nil {
+			return err
+		}
+		fmt.Printf("plan → %s (%d moves)\n", *planOut, schedule.NumMoves())
 	}
 
 	if *simulate && schedule.NumMoves() > 0 {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rexchange/internal/workload"
+)
+
+// buildBinaries compiles rexd and rebalance into dir and returns their
+// paths. The test drives the real binaries end to end: generated placement
+// → offline plan (-plan-out) → online replay (-plan-in), and the virtual
+// controller loop that the CI smoke step runs.
+func buildBinaries(t *testing.T, dir string) (rexd, rebalance string) {
+	t.Helper()
+	rexd = filepath.Join(dir, "rexd")
+	rebalance = filepath.Join(dir, "rebalance")
+	for bin, pkg := range map[string]string{rexd: "rexchange/cmd/rexd", rebalance: "rexchange/cmd/rebalance"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.." // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return rexd, rebalance
+}
+
+// writeInstance saves a small generated placement and trace for the CLI.
+func writeInstance(t *testing.T, dir string) (placement, trace string) {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Machines = 30
+	cfg.Shards = 300
+	cfg.Seed = 4
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement = filepath.Join(dir, "placement.json")
+	if err := inst.Placement.SaveFile(placement); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.GenerateTrace(workload.TraceConfig{
+		Duration: 30, BaseRate: 50, DiurnalAmp: 0.5, Period: 30, CostSigma: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace = filepath.Join(dir, "trace.csv")
+	if err := tr.SaveFile(trace); err != nil {
+		t.Fatal(err)
+	}
+	return placement, trace
+}
+
+func runCmd(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestRexdVirtualReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	rexd, _ := buildBinaries(t, dir)
+	placement, trace := writeInstance(t, dir)
+
+	out := runCmd(t, rexd,
+		"-in", placement, "-virtual", "-replay", trace,
+		"-rounds", "3", "-window", "10", "-iters", "200", "-restarts", "1")
+	if !strings.Contains(out, "final imbalance=") {
+		t.Fatalf("missing final imbalance line:\n%s", out)
+	}
+	if !strings.Contains(out, "round   0") {
+		t.Fatalf("missing per-round progress:\n%s", out)
+	}
+}
+
+func TestRexdPlanReplayRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	rexd, rebalance := buildBinaries(t, dir)
+	placement, _ := writeInstance(t, dir)
+	planPath := filepath.Join(dir, "plan.json")
+
+	out := runCmd(t, rebalance,
+		"-in", placement, "-k", "0", "-iters", "300", "-plan-out", planPath)
+	if !strings.Contains(out, "plan → ") {
+		t.Fatalf("rebalance did not report the plan file:\n%s", out)
+	}
+	if _, err := os.Stat(planPath); err != nil {
+		t.Fatal(err)
+	}
+
+	out = runCmd(t, rexd,
+		"-in", placement, "-plan-in", planPath, "-virtual", "-bandwidth", "500", "-inflight", "8")
+	if !strings.Contains(out, "plan executed:") || !strings.Contains(out, "final imbalance=") {
+		t.Fatalf("plan replay output unexpected:\n%s", out)
+	}
+}
+
+func TestRexdInjectedFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	rexd, _ := buildBinaries(t, dir)
+	placement, trace := writeInstance(t, dir)
+
+	out := runCmd(t, rexd,
+		"-in", placement, "-virtual", "-replay", trace,
+		"-rounds", "3", "-iters", "200", "-restarts", "1", "-fail-rate", "0.2")
+	if !strings.Contains(out, "final imbalance=") {
+		t.Fatalf("run with failures did not complete:\n%s", out)
+	}
+}

@@ -1,0 +1,428 @@
+package ctl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/core"
+	"rexchange/internal/metrics"
+)
+
+// State is the controller's top-level mode, exposed on /status.
+type State int
+
+// Controller states.
+const (
+	// StateIdle: watching load, no plan outstanding.
+	StateIdle State = iota
+	// StateSolving: a re-solve is running on a planning copy.
+	StateSolving
+	// StateMigrating: a plan is installed and the executor is draining it.
+	StateMigrating
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateSolving:
+		return "solving"
+	case StateMigrating:
+		return "migrating"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// Window is the seconds between load snapshots (one control round).
+	Window float64
+	// Policy is the solve trigger (hysteresis + cooldown).
+	Policy Policy
+	// Budget bounds each solve round.
+	Budget Budget
+	// Solver is the base SRA configuration; Iterations and Seed are
+	// overridden per round from Budget and Seed.
+	Solver core.Config
+	// Exec parameterizes the migration executor.
+	Exec ExecConfig
+	// Seed decorrelates per-round solver seeds.
+	Seed int64
+	// OnRound, when set, is called after every completed control round
+	// with that round's stat (outside the controller lock). rexd uses it
+	// for progress logging.
+	OnRound func(RoundStat)
+}
+
+// DefaultConfig returns a continuous-operation configuration: 10-second
+// windows, the default hysteresis band, and a small per-round budget.
+func DefaultConfig() Config {
+	return Config{
+		Window: 10,
+		Policy: DefaultPolicy(),
+		Budget: DefaultBudget(),
+		Solver: core.DefaultConfig(),
+		Exec:   DefaultExecConfig(),
+		Seed:   1,
+	}
+}
+
+// RoundStat records one control round for /status and tests. The sequence
+// of RoundStats is the controller's trajectory and is bit-identical across
+// GOMAXPROCS for a fixed configuration on the virtual clock.
+type RoundStat struct {
+	Round     int     `json:"round"`
+	At        float64 `json:"at"`
+	Imbalance float64 `json:"imbalance"`
+	MaxUtil   float64 `json:"max_util"`
+	MeanUtil  float64 `json:"mean_util"`
+	Solved    bool    `json:"solved"`
+	PlanMoves int     `json:"plan_moves,omitempty"`
+	Objective float64 `json:"objective,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// Controller is the online rebalancing control loop. Run drives it; the
+// HTTP handlers in http.go observe it concurrently through the mutex.
+type Controller struct {
+	cfg   Config
+	clock Clock
+	src   LoadSource
+
+	mu       sync.Mutex
+	live     *cluster.Placement
+	exec     *Executor
+	state    State
+	campaign bool
+	round    int
+	solves   int
+	// lastSolveAt is meaningful only once everSolved is true.
+	lastSolveAt float64
+	everSolved  bool
+	lastReport  metrics.Report
+	history     []RoundStat
+
+	stopped atomic.Bool
+}
+
+// New creates a controller over the given live placement. The placement is
+// owned by the controller from here on: the executor commits moves into it
+// and load snapshots replace its cluster's shard loads.
+func New(cfg Config, clock Clock, p *cluster.Placement, src LoadSource) (*Controller, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("ctl: Window must be positive, got %g", cfg.Window)
+	}
+	if err := cfg.Policy.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Budget.validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil || p == nil || src == nil {
+		return nil, fmt.Errorf("ctl: clock, placement, and load source are required")
+	}
+	ex, err := NewExecutor(p.Cluster(), cfg.Exec)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:        cfg,
+		clock:      clock,
+		src:        src,
+		live:       p,
+		exec:       ex,
+		lastReport: metrics.Compute(p),
+	}, nil
+}
+
+// Stop makes Run return after the current round. Safe to call from any
+// goroutine (e.g. a signal handler).
+func (c *Controller) Stop() { c.stopped.Store(true) }
+
+// Run executes `rounds` control rounds (≤0 means until Stop), then drains
+// any outstanding migration. Each round services executor events until the
+// window closes, ingests a load snapshot, and consults the trigger policy.
+// Run returns the first hard error (a snapshot or solve infrastructure
+// failure); executor plan failures are recorded in the round history and
+// operation continues.
+func (c *Controller) Run(rounds int) error {
+	start := c.clock.Now()
+	for r := 0; (rounds <= 0 || r < rounds) && !c.stopped.Load(); r++ {
+		t1 := start + float64(r+1)*c.cfg.Window
+		if err := c.serviceUntil(t1); err != nil {
+			c.noteExecError(err)
+		}
+		if err := c.snapshotAndDecide(t1-c.cfg.Window, t1); err != nil {
+			return err
+		}
+	}
+	return c.drain()
+}
+
+// serviceUntil advances the clock to t, processing executor events on the
+// way. Executor plan failures abort the plan and surface as the returned
+// error; the controller keeps running.
+func (c *Controller) serviceUntil(t float64) error {
+	for {
+		c.mu.Lock()
+		next, ok := c.exec.NextEvent(c.clock.Now())
+		c.mu.Unlock()
+		if !ok || next > t {
+			c.clock.Sleep(t - c.clock.Now())
+			return nil
+		}
+		c.clock.Sleep(next - c.clock.Now())
+		if err := c.tickExec(); err != nil {
+			return err
+		}
+	}
+}
+
+// tickExec runs one executor step at the current time and updates the
+// controller state when the plan drains or fails.
+func (c *Controller) tickExec() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.exec.Tick(c.live, c.clock.Now())
+	if c.exec.Done() && c.state == StateMigrating {
+		c.state = StateIdle
+	}
+	return err
+}
+
+// drain services the executor until the installed plan finishes (or
+// fails), without ingesting further snapshots.
+func (c *Controller) drain() error {
+	for {
+		c.mu.Lock()
+		next, ok := c.exec.NextEvent(c.clock.Now())
+		c.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		c.clock.Sleep(next - c.clock.Now())
+		if err := c.tickExec(); err != nil {
+			c.noteExecError(err)
+			return nil
+		}
+	}
+}
+
+// noteExecError records an executor plan failure in the round history.
+func (c *Controller) noteExecError(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateMigrating {
+		c.state = StateIdle
+	}
+	if n := len(c.history); n > 0 && c.history[n-1].Err == "" {
+		c.history[n-1].Err = err.Error()
+	} else {
+		c.history = append(c.history, RoundStat{Round: c.round, At: c.clock.Now(), Err: err.Error()})
+	}
+}
+
+// snapshotAndDecide ingests the window's load observation, recomputes the
+// balance report, and triggers a solve when the policy says so.
+func (c *Controller) snapshotAndDecide(t0, t1 float64) error {
+	loads, err := c.src.Next(t0, t1)
+	if err != nil {
+		return fmt.Errorf("ctl: load snapshot: %w", err)
+	}
+	if err := c.applyLoads(loads); err != nil {
+		return err
+	}
+
+	c.mu.Lock()
+	rep := metrics.Compute(c.live)
+	c.lastReport = rep
+	now := c.clock.Now()
+	migrating := c.state == StateMigrating && !c.exec.Done()
+	trigger := c.cfg.Policy.ShouldSolve(rep.Imbalance, c.campaign, migrating, now, c.lastSolveAt, c.everSolved)
+	if rep.Imbalance >= c.cfg.Policy.HighWater {
+		c.campaign = true
+	}
+	stat := RoundStat{
+		Round: c.round, At: now,
+		Imbalance: rep.Imbalance, MaxUtil: rep.MaxUtil, MeanUtil: rep.MeanUtil,
+	}
+	c.round++
+	c.mu.Unlock()
+
+	if trigger {
+		c.solveRound(&stat)
+	}
+
+	c.mu.Lock()
+	// End the campaign only from the freshly observed report; a solve this
+	// round begins paying off in later windows.
+	if c.campaign && rep.Imbalance <= c.cfg.Policy.LowWater {
+		c.campaign = false
+	}
+	c.history = append(c.history, stat)
+	c.mu.Unlock()
+	if c.cfg.OnRound != nil {
+		c.cfg.OnRound(stat)
+	}
+	return nil
+}
+
+// applyLoads replaces the live cluster's shard loads with the observed
+// snapshot and rebuilds the placement aggregates on the unchanged
+// assignment. Static demands never change, so in-flight executor
+// reservations remain valid.
+func (c *Controller) applyLoads(loads []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.live.Cluster()
+	if len(loads) != cl.NumShards() {
+		return fmt.Errorf("ctl: snapshot has %d loads for %d shards", len(loads), cl.NumShards())
+	}
+	nc := &cluster.Cluster{
+		Machines: cl.Machines,
+		Shards:   append([]cluster.Shard(nil), cl.Shards...),
+	}
+	for i := range nc.Shards {
+		l := loads[i]
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("ctl: snapshot load %g for shard %d", l, i)
+		}
+		nc.Shards[i].Load = l
+	}
+	np, err := cluster.FromAssignment(nc, c.live.Assignment())
+	if err != nil {
+		return fmt.Errorf("ctl: rebuild placement: %w", err)
+	}
+	c.live = np
+	return nil
+}
+
+// solveRound runs one budgeted solve and installs the resulting plan. Any
+// in-flight plan is superseded first so the solver sees a quiescent live
+// placement. Solve failures (including infeasible plans) are recorded on
+// the round stat; the controller returns to idle and tries again at a
+// later trigger.
+func (c *Controller) solveRound(stat *RoundStat) {
+	c.mu.Lock()
+	c.exec.SetPlan(nil) // supersede: abort in-flight, cancel pending
+	c.state = StateSolving
+	planning := c.live.Clone()
+	c.mu.Unlock()
+
+	scfg := c.cfg.Solver
+	scfg.Iterations = c.cfg.Budget.Iterations
+	// Fresh seed per round, decorrelated by a large odd stride.
+	scfg.Seed = c.cfg.Seed + int64(stat.Round)*0x9E3779B1
+	res, err := core.New(scfg).SolveParallel(planning, c.cfg.Budget.Restarts)
+	c.clock.Sleep(c.cfg.Budget.SolveSeconds)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	c.solves++
+	c.lastSolveAt = now
+	c.everSolved = true
+	stat.Solved = true
+	if err != nil {
+		stat.Err = err.Error()
+		c.state = StateIdle
+		return
+	}
+	stat.PlanMoves = res.Plan.NumMoves()
+	stat.Objective = res.Objective
+	c.exec.SetPlan(res.Plan)
+	if res.Plan.NumMoves() == 0 {
+		c.state = StateIdle
+		return
+	}
+	c.state = StateMigrating
+	if err := c.exec.Tick(c.live, now); err != nil {
+		stat.Err = err.Error()
+		c.state = StateIdle
+	}
+}
+
+// ExecStatus is the executor excerpt embedded in Status.
+type ExecStatus struct {
+	ExecCounters
+	Done bool `json:"done"`
+}
+
+// Status is the controller snapshot served on /status.
+type Status struct {
+	State       string      `json:"state"`
+	Now         float64     `json:"now"`
+	Round       int         `json:"round"`
+	Solves      int         `json:"solves"`
+	LastSolveAt float64     `json:"last_solve_at"`
+	Campaign    bool        `json:"campaign"`
+	Imbalance   float64     `json:"imbalance"`
+	MaxUtil     float64     `json:"max_util"`
+	MeanUtil    float64     `json:"mean_util"`
+	Executor    ExecStatus  `json:"executor"`
+	LastRounds  []RoundStat `json:"last_rounds,omitempty"`
+}
+
+// Status returns a consistent snapshot of the controller state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		State:       c.state.String(),
+		Now:         c.clock.Now(),
+		Round:       c.round,
+		Solves:      c.solves,
+		LastSolveAt: c.lastSolveAt,
+		Campaign:    c.campaign,
+		Imbalance:   c.lastReport.Imbalance,
+		MaxUtil:     c.lastReport.MaxUtil,
+		MeanUtil:    c.lastReport.MeanUtil,
+		Executor:    ExecStatus{ExecCounters: c.exec.Counters(), Done: c.exec.Done()},
+	}
+	tail := c.history
+	if len(tail) > 16 {
+		tail = tail[len(tail)-16:]
+	}
+	st.LastRounds = append([]RoundStat(nil), tail...)
+	return st
+}
+
+// Report returns the balance report of the most recent snapshot.
+func (c *Controller) Report() metrics.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastReport
+}
+
+// History returns a copy of every recorded round.
+func (c *Controller) History() []RoundStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RoundStat(nil), c.history...)
+}
+
+// SnapshotPlacement returns a deep copy of the live placement.
+func (c *Controller) SnapshotPlacement() *cluster.Placement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live.Clone()
+}
+
+// PlanView returns the per-move state of the current schedule.
+func (c *Controller) PlanView() []MoveView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exec.MoveStates()
+}
+
+// ExecCounters returns a snapshot of the executor statistics.
+func (c *Controller) ExecCounters() ExecCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.exec.Counters()
+}

@@ -1,0 +1,439 @@
+package ctl
+
+import (
+	"fmt"
+	"math"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/plan"
+	"rexchange/internal/sim"
+	"rexchange/internal/vec"
+)
+
+// MoveStatus is the lifecycle state of one scheduled move inside the
+// executor.
+type MoveStatus int
+
+// Move lifecycle states.
+const (
+	// MovePending: not yet dispatched.
+	MovePending MoveStatus = iota
+	// MoveInFlight: copy running; static resources reserved on the
+	// destination while the shard still occupies the source.
+	MoveInFlight
+	// MoveRetrying: the copy failed and the move waits out its backoff
+	// before redispatch.
+	MoveRetrying
+	// MoveDone: committed to the live placement.
+	MoveDone
+	// MoveCancelled: abandoned because a newer plan superseded this one
+	// (or the controller aborted). The shard remains on its source.
+	MoveCancelled
+)
+
+// String names the status for JSON/metrics output.
+func (s MoveStatus) String() string {
+	switch s {
+	case MovePending:
+		return "pending"
+	case MoveInFlight:
+		return "in-flight"
+	case MoveRetrying:
+		return "retrying"
+	case MoveDone:
+		return "done"
+	case MoveCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// FailureFunc injects per-move copy failures for testing and chaos drills:
+// it is consulted when a copy finishes, with attempt counting from 1, and
+// returning true fails that attempt. A nil FailureFunc never fails.
+type FailureFunc func(mv plan.Move, attempt int) bool
+
+// ExecConfig parameterizes the asynchronous migration executor.
+type ExecConfig struct {
+	// Migration supplies the per-move bandwidth model and the bound on
+	// simultaneously in-flight moves (Concurrency), shared with the
+	// offline simulator so both agree on migration physics.
+	Migration sim.MigrationConfig
+	// MaxAttempts bounds dispatch attempts per move before the executor
+	// abandons the whole plan; 0 means 8.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry (seconds); each
+	// subsequent retry doubles it, capped at BackoffMax. Zero values
+	// default to 0.5s and 30s.
+	BackoffBase, BackoffMax float64
+	// Failure injects copy failures; nil never fails.
+	Failure FailureFunc
+}
+
+// DefaultExecConfig matches the offline simulator's default bandwidth with
+// four concurrent copies.
+func DefaultExecConfig() ExecConfig {
+	return ExecConfig{
+		Migration: sim.MigrationConfig{Bandwidth: 100, Concurrency: 4},
+	}
+}
+
+// normalize fills defaults and validates.
+func (cfg *ExecConfig) normalize() error {
+	if cfg.Migration.Bandwidth <= 0 {
+		return fmt.Errorf("ctl: executor Bandwidth must be positive, got %g", cfg.Migration.Bandwidth)
+	}
+	if cfg.Migration.Concurrency <= 0 {
+		return fmt.Errorf("ctl: executor Concurrency must be positive, got %d", cfg.Migration.Concurrency)
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.MaxAttempts < 0 {
+		return fmt.Errorf("ctl: negative MaxAttempts %d", cfg.MaxAttempts)
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 0.5
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 30
+	}
+	return nil
+}
+
+// moveState tracks one move through the executor.
+type moveState struct {
+	mv       plan.Move
+	status   MoveStatus
+	attempts int     // completed dispatches (successful or failed)
+	readyAt  float64 // earliest redispatch time while retrying
+	finishAt float64 // completion time while in flight
+}
+
+// MoveView is the externally visible state of one scheduled move.
+type MoveView struct {
+	Seq      int               `json:"seq"`
+	Shard    cluster.ShardID   `json:"s"`
+	From     cluster.MachineID `json:"from"`
+	To       cluster.MachineID `json:"to"`
+	Status   string            `json:"status"`
+	Attempts int               `json:"attempts,omitempty"`
+	FinishAt float64           `json:"finish_at,omitempty"`
+}
+
+// ExecCounters are the executor's cumulative statistics across all plans it
+// has run.
+type ExecCounters struct {
+	Dispatched   int     `json:"dispatched"`
+	Completed    int     `json:"completed"`
+	Failures     int     `json:"failures"`
+	Aborted      int     `json:"aborted"`
+	Cancelled    int     `json:"cancelled"`
+	InFlight     int     `json:"in_flight"`
+	Pending      int     `json:"pending"`
+	PeakParallel int     `json:"peak_parallel"`
+	BytesMoved   float64 `json:"bytes_moved"`
+}
+
+// Executor drives a move schedule against the live placement with bounded
+// in-flight concurrency. It is event-driven: the owner (the controller
+// loop, or any single goroutine) asks NextEvent for the next completion or
+// retry time, advances its clock, and calls Tick. Dispatch is strictly in
+// plan order — a later move never overtakes a blocked earlier one — which
+// preserves the plan's serial feasibility proof, and every dispatch
+// re-checks the transient both-endpoints constraint against the live
+// placement plus the in-flight reservations, so a drifting or superseded
+// environment can never oversubscribe a machine.
+//
+// Executor is not safe for concurrent use; the controller serializes access
+// under its own lock.
+type Executor struct {
+	cfg      ExecConfig
+	c        *cluster.Cluster
+	moves    []moveState
+	reserved []vec.Vec // per machine: static demand of in-flight moves
+	airborne map[cluster.ShardID]bool
+	inflight int
+	pending  int // moves not yet terminal
+	counters ExecCounters
+}
+
+// NewExecutor creates an executor for the given cluster with no plan
+// installed.
+func NewExecutor(c *cluster.Cluster, cfg ExecConfig) (*Executor, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &Executor{
+		cfg:      cfg,
+		c:        c,
+		reserved: make([]vec.Vec, c.NumMachines()),
+		airborne: make(map[cluster.ShardID]bool),
+	}, nil
+}
+
+// SetPlan installs a new schedule, superseding whatever is currently
+// running: pending moves are cancelled and in-flight copies aborted (their
+// destination reservations released; the shards stay on their sources).
+// Passing nil just cancels the current plan.
+func (e *Executor) SetPlan(p *plan.Plan) {
+	e.abort()
+	if p == nil {
+		return
+	}
+	e.moves = make([]moveState, len(p.Moves))
+	for i, mv := range p.Moves {
+		e.moves[i] = moveState{mv: mv}
+	}
+	e.pending = len(p.Moves)
+}
+
+// abort cancels every non-terminal move and releases reservations.
+func (e *Executor) abort() {
+	for i := range e.moves {
+		st := &e.moves[i]
+		switch st.status {
+		case MoveInFlight:
+			e.release(st.mv)
+			st.status = MoveCancelled
+			e.counters.Aborted++
+		case MovePending, MoveRetrying:
+			st.status = MoveCancelled
+			e.counters.Cancelled++
+		}
+	}
+	e.inflight = 0
+	e.pending = 0
+	clear(e.airborne)
+}
+
+// release frees the destination reservation of an in-flight move.
+func (e *Executor) release(mv plan.Move) {
+	e.reserved[mv.To] = e.reserved[mv.To].Sub(e.c.Shards[mv.S].Static)
+}
+
+// Done reports whether every scheduled move is terminal (done or
+// cancelled). A fresh executor with no plan is Done.
+func (e *Executor) Done() bool { return e.pending == 0 }
+
+// NextEvent returns the earliest time after now at which Tick will make
+// progress (a copy completion, or the head move's backoff expiring), or
+// ok=false when nothing is scheduled. A retry timer that has already
+// expired is not an event: after a Tick at `now`, such a move is
+// necessarily blocked on admission or concurrency and only a completion
+// can unblock it.
+func (e *Executor) NextEvent(now float64) (at float64, ok bool) {
+	next := math.Inf(1)
+	for i := range e.moves {
+		st := &e.moves[i]
+		if st.status == MoveInFlight && st.finishAt < next {
+			next = st.finishAt
+		}
+	}
+	if i := e.firstActionable(); i >= 0 {
+		if st := &e.moves[i]; st.status == MoveRetrying && st.readyAt > now && st.readyAt < next {
+			next = st.readyAt
+		}
+	}
+	if math.IsInf(next, 1) {
+		return 0, false
+	}
+	return next, true
+}
+
+// Tick processes every completion due at or before now, then dispatches as
+// many moves as order, concurrency, backoff, and transient admission allow.
+// live is the placement moves commit into. Tick returns an error when the
+// plan must be abandoned (a move exceeded MaxAttempts, or the schedule is
+// inconsistent with the live placement); the executor aborts the plan
+// before returning such an error.
+func (e *Executor) Tick(live *cluster.Placement, now float64) error {
+	if err := e.complete(live, now); err != nil {
+		e.abort()
+		return err
+	}
+	if err := e.dispatch(live, now); err != nil {
+		e.abort()
+		return err
+	}
+	if cluster.DebugAsserts {
+		e.assertTransient(live)
+	}
+	return nil
+}
+
+// complete commits or fails every in-flight move whose copy has finished,
+// in deterministic (finish time, plan order) order.
+func (e *Executor) complete(live *cluster.Placement, now float64) error {
+	for {
+		// earliest due completion; plan order breaks timestamp ties
+		best := -1
+		for i := range e.moves {
+			st := &e.moves[i]
+			if st.status != MoveInFlight || st.finishAt > now {
+				continue
+			}
+			if best < 0 || st.finishAt < e.moves[best].finishAt {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		st := &e.moves[best]
+		mv := st.mv
+		e.release(mv)
+		e.inflight--
+		delete(e.airborne, mv.S)
+		if e.cfg.Failure != nil && e.cfg.Failure(mv, st.attempts) {
+			e.counters.Failures++
+			if st.attempts >= e.cfg.MaxAttempts {
+				return fmt.Errorf("ctl: move %d (shard %d → machine %d) failed %d times; abandoning plan",
+					best, mv.S, mv.To, st.attempts)
+			}
+			st.status = MoveRetrying
+			st.readyAt = st.finishAt + e.backoff(st.attempts)
+			continue
+		}
+		live.Move(mv.S, mv.To)
+		if cluster.DebugAsserts {
+			live.MustInvariants("ctl executor commit")
+		}
+		st.status = MoveDone
+		e.pending--
+		e.counters.Completed++
+	}
+}
+
+// backoff returns the capped exponential retry delay after `failures`
+// failed attempts.
+func (e *Executor) backoff(failures int) float64 {
+	d := e.cfg.BackoffBase * math.Pow(2, float64(failures-1))
+	if d > e.cfg.BackoffMax {
+		d = e.cfg.BackoffMax
+	}
+	return d
+}
+
+// dispatch starts moves strictly in plan order while concurrency and
+// transient admission allow.
+func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
+	for e.inflight < e.cfg.Migration.Concurrency {
+		i := e.firstActionable()
+		if i < 0 {
+			return nil
+		}
+		st := &e.moves[i]
+		mv := st.mv
+		if st.status == MoveRetrying && st.readyAt > now {
+			return nil // head-of-line waits out its backoff
+		}
+		if e.airborne[mv.S] {
+			return nil // the shard's previous hop has not landed yet
+		}
+		if live.Home(mv.S) != mv.From {
+			return fmt.Errorf("ctl: move %d expects shard %d on machine %d, found %d",
+				i, mv.S, mv.From, live.Home(mv.S))
+		}
+		if !e.canAdmit(live, mv.S, mv.To) {
+			if e.inflight == 0 {
+				// Nothing in flight will ever free space: the plan is not
+				// serially feasible against the live placement.
+				return fmt.Errorf("ctl: move %d (shard %d → machine %d) never fits the live placement",
+					i, mv.S, mv.To)
+			}
+			return nil // head-of-line blocks until a completion frees space
+		}
+		size := e.c.Shards[mv.S].Static[vec.Disk]
+		e.reserved[mv.To] = e.reserved[mv.To].Add(e.c.Shards[mv.S].Static)
+		e.airborne[mv.S] = true
+		st.status = MoveInFlight
+		st.attempts++
+		st.finishAt = now + size/e.cfg.Migration.Bandwidth
+		e.inflight++
+		e.counters.Dispatched++
+		e.counters.BytesMoved += size
+		if e.inflight > e.counters.PeakParallel {
+			e.counters.PeakParallel = e.inflight
+		}
+	}
+	return nil
+}
+
+// firstActionable returns the index of the first move in plan order that is
+// pending or retrying, or -1.
+func (e *Executor) firstActionable() int {
+	for i := range e.moves {
+		if s := e.moves[i].status; s == MovePending || s == MoveRetrying {
+			return i
+		}
+	}
+	return -1
+}
+
+// canAdmit checks the transient both-endpoints constraint against the live
+// placement: the shard still occupies its source (it has not moved yet), so
+// admission only needs the destination to fit the shard on top of its
+// resident usage plus every in-flight reservation, and no anti-affinity
+// replica may already live there.
+func (e *Executor) canAdmit(live *cluster.Placement, s cluster.ShardID, m cluster.MachineID) bool {
+	sh := &e.c.Shards[s]
+	if sh.Group != 0 && live.GroupCount(m, sh.Group) > 0 {
+		return false
+	}
+	return sh.Static.FitsWithin(live.Used(m).Add(e.reserved[m]), e.c.Machines[m].Capacity)
+}
+
+// Counters returns a snapshot of the cumulative executor statistics.
+func (e *Executor) Counters() ExecCounters {
+	ctr := e.counters
+	ctr.InFlight = e.inflight
+	ctr.Pending = e.pending - e.inflight
+	return ctr
+}
+
+// MoveStates returns the per-move state of the current schedule.
+func (e *Executor) MoveStates() []MoveView {
+	out := make([]MoveView, len(e.moves))
+	for i := range e.moves {
+		st := &e.moves[i]
+		out[i] = MoveView{
+			Seq: i, Shard: st.mv.S, From: st.mv.From, To: st.mv.To,
+			Status: st.status.String(), Attempts: st.attempts,
+		}
+		if st.status == MoveInFlight {
+			out[i].FinishAt = st.finishAt
+		}
+	}
+	return out
+}
+
+// assertTransient recomputes in-flight reservations and verifies that every
+// machine's resident usage plus reservations stays within capacity. Only
+// called under -tags debugasserts.
+func (e *Executor) assertTransient(live *cluster.Placement) {
+	want := make([]vec.Vec, e.c.NumMachines())
+	air := 0
+	for i := range e.moves {
+		st := &e.moves[i]
+		if st.status != MoveInFlight {
+			continue
+		}
+		air++
+		want[st.mv.To] = want[st.mv.To].Add(e.c.Shards[st.mv.S].Static)
+	}
+	if air != e.inflight {
+		panic(fmt.Sprintf("ctl: inflight count %d, recomputed %d", e.inflight, air))
+	}
+	for m := range want {
+		if !want[m].AlmostEqual(e.reserved[m], 1e-6) {
+			panic(fmt.Sprintf("ctl: machine %d reserved %v, recomputed %v", m, e.reserved[m], want[m]))
+		}
+		total := live.Used(cluster.MachineID(m)).Add(e.reserved[m])
+		if !total.LEQ(e.c.Machines[m].Capacity.Add(vec.Uniform(1e-9))) {
+			panic(fmt.Sprintf("ctl: machine %d transient usage %v exceeds capacity %v",
+				m, total, e.c.Machines[m].Capacity))
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/plan"
+	"rexchange/internal/sim"
+	"rexchange/internal/vec"
+)
+
+// mkCluster builds a uniform-resource cluster from per-machine capacities
+// and per-shard static sizes (unit loads, speed 1).
+func mkCluster(caps []float64, statics []float64) *cluster.Cluster {
+	c := &cluster.Cluster{}
+	for i, cp := range caps {
+		c.Machines = append(c.Machines, cluster.Machine{
+			ID: cluster.MachineID(i), Capacity: vec.Uniform(cp), Speed: 1,
+		})
+	}
+	for i, st := range statics {
+		c.Shards = append(c.Shards, cluster.Shard{
+			ID: cluster.ShardID(i), Static: vec.Uniform(st), Load: 1,
+		})
+	}
+	return c
+}
+
+func mustPlacement(t *testing.T, c *cluster.Cluster, assign []cluster.MachineID) *cluster.Placement {
+	t.Helper()
+	p, err := cluster.FromAssignment(c, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newExec(t *testing.T, c *cluster.Cluster, cfg ExecConfig) *Executor {
+	t.Helper()
+	ex, err := NewExecutor(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// checkTransient verifies, from the executor's externally visible state,
+// that resident usage plus in-flight destination reservations fits every
+// machine — the paper's transient constraint.
+func checkTransient(t *testing.T, ex *Executor, live *cluster.Placement) {
+	t.Helper()
+	c := live.Cluster()
+	extra := make([]vec.Vec, c.NumMachines())
+	for _, mv := range ex.MoveStates() {
+		if mv.Status == MoveInFlight.String() {
+			extra[mv.To] = extra[mv.To].Add(c.Shards[mv.Shard].Static)
+		}
+	}
+	for m := 0; m < c.NumMachines(); m++ {
+		total := live.Used(cluster.MachineID(m)).Add(extra[m])
+		if !total.LEQ(c.Machines[m].Capacity.Add(vec.Uniform(1e-9))) {
+			t.Fatalf("machine %d transient usage %v exceeds capacity %v",
+				m, total, c.Machines[m].Capacity)
+		}
+	}
+}
+
+// drive runs the executor to completion on the virtual clock, checking the
+// transient constraint after every event.
+func drive(t *testing.T, ex *Executor, live *cluster.Placement, clock *VirtualClock) {
+	t.Helper()
+	if err := ex.Tick(live, clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	checkTransient(t, ex, live)
+	for !ex.Done() {
+		next, ok := ex.NextEvent(clock.Now())
+		if !ok {
+			t.Fatalf("executor stalled: %+v", ex.Counters())
+		}
+		clock.Sleep(next - clock.Now())
+		if err := ex.Tick(live, clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+		checkTransient(t, ex, live)
+	}
+}
+
+func execCfg(conc int) ExecConfig {
+	return ExecConfig{Migration: sim.MigrationConfig{Bandwidth: 1, Concurrency: conc}}
+}
+
+func TestExecutorRunsPlanToCompletion(t *testing.T) {
+	c := mkCluster([]float64{10, 10, 10}, []float64{2, 3, 4})
+	live := mustPlacement(t, c, []cluster.MachineID{0, 0, 0})
+	target := mustPlacement(t, c, []cluster.MachineID{0, 1, 2})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := newExec(t, c, execCfg(1))
+	ex.SetPlan(pl)
+	clock := NewVirtualClock()
+	drive(t, ex, live, clock)
+
+	for s := 0; s < c.NumShards(); s++ {
+		if live.Home(cluster.ShardID(s)) != target.Home(cluster.ShardID(s)) {
+			t.Fatalf("shard %d on %d, want %d", s, live.Home(cluster.ShardID(s)), target.Home(cluster.ShardID(s)))
+		}
+	}
+	ctr := ex.Counters()
+	if ctr.Completed != pl.NumMoves() || ctr.Failures != 0 {
+		t.Fatalf("counters = %+v, want %d completions", ctr, pl.NumMoves())
+	}
+	// concurrency 1 at bandwidth 1: makespan is the summed move volume
+	want := pl.BytesMoved(c)
+	if diff := clock.Now() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("makespan %g, want %g", clock.Now(), want)
+	}
+	if err := live.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutorBoundsInFlight(t *testing.T) {
+	// Six independent moves; concurrency 2 must cap the overlap.
+	c := mkCluster([]float64{30, 30}, []float64{2, 2, 2, 2, 2, 2})
+	live := mustPlacement(t, c, []cluster.MachineID{0, 0, 0, 0, 0, 0})
+	target := mustPlacement(t, c, []cluster.MachineID{1, 1, 1, 1, 1, 1})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := newExec(t, c, execCfg(2))
+	ex.SetPlan(pl)
+	drive(t, ex, live, NewVirtualClock())
+	ctr := ex.Counters()
+	if ctr.PeakParallel != 2 {
+		t.Fatalf("peak parallel = %d, want 2", ctr.PeakParallel)
+	}
+}
+
+// TestExecutorAdmissionBlocks drives the canonical swap-with-staging plan:
+// admission must delay dependent moves until space frees, and the final
+// placement must realize the target.
+func TestExecutorAdmissionBlocks(t *testing.T) {
+	c := mkCluster([]float64{10, 10, 8}, []float64{7, 7})
+	live := mustPlacement(t, c, []cluster.MachineID{0, 1})
+	target := mustPlacement(t, c, []cluster.MachineID{1, 0})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Staged == 0 {
+		t.Fatalf("expected a staged plan, got %+v", pl)
+	}
+	ex := newExec(t, c, execCfg(4))
+	ex.SetPlan(pl)
+	drive(t, ex, live, NewVirtualClock())
+	if live.Home(0) != 1 || live.Home(1) != 0 {
+		t.Fatalf("swap not realized: homes %d,%d", live.Home(0), live.Home(1))
+	}
+}
+
+func TestExecutorRetryWithBackoff(t *testing.T) {
+	c := mkCluster([]float64{10, 10}, []float64{4})
+	live := mustPlacement(t, c, []cluster.MachineID{0})
+	target := mustPlacement(t, c, []cluster.MachineID{1})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := execCfg(1)
+	cfg.BackoffBase = 2
+	cfg.BackoffMax = 3
+	fails := 0
+	cfg.Failure = func(mv plan.Move, attempt int) bool {
+		if attempt <= 3 {
+			fails++
+			return true
+		}
+		return false
+	}
+	ex := newExec(t, c, cfg)
+	ex.SetPlan(pl)
+	clock := NewVirtualClock()
+	drive(t, ex, live, clock)
+	if live.Home(0) != 1 {
+		t.Fatalf("move not committed after retries")
+	}
+	ctr := ex.Counters()
+	if ctr.Failures != 3 || fails != 3 || ctr.Completed != 1 {
+		t.Fatalf("counters = %+v (fails=%d), want 3 failures 1 completion", ctr, fails)
+	}
+	// 4 copies of duration 4 plus backoffs 2, 3 (capped), 3 (capped).
+	want := 4*4.0 + 2 + 3 + 3
+	if diff := clock.Now() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("makespan %g, want %g", clock.Now(), want)
+	}
+}
+
+func TestExecutorAbandonsAfterMaxAttempts(t *testing.T) {
+	c := mkCluster([]float64{10, 10}, []float64{4, 2})
+	live := mustPlacement(t, c, []cluster.MachineID{0, 0})
+	target := mustPlacement(t, c, []cluster.MachineID{1, 1})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := execCfg(1)
+	cfg.MaxAttempts = 2
+	cfg.BackoffBase = 0.1
+	cfg.Failure = func(plan.Move, int) bool { return true }
+	ex := newExec(t, c, cfg)
+	ex.SetPlan(pl)
+	clock := NewVirtualClock()
+
+	var tickErr error
+	if tickErr = ex.Tick(live, clock.Now()); tickErr != nil {
+		t.Fatal(tickErr)
+	}
+	for tickErr == nil {
+		next, ok := ex.NextEvent(clock.Now())
+		if !ok {
+			break
+		}
+		clock.Sleep(next - clock.Now())
+		tickErr = ex.Tick(live, clock.Now())
+	}
+	if tickErr == nil || !strings.Contains(tickErr.Error(), "abandoning plan") {
+		t.Fatalf("expected abandonment error, got %v", tickErr)
+	}
+	if !ex.Done() {
+		t.Fatal("executor should be quiescent after abandoning the plan")
+	}
+	// the shard never moved and nothing stays reserved
+	if live.Home(0) != 0 || live.Home(1) != 0 {
+		t.Fatalf("placement mutated by failed plan: homes %d,%d", live.Home(0), live.Home(1))
+	}
+	checkTransient(t, ex, live)
+	if err := live.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutorSupersededPlanAborts(t *testing.T) {
+	c := mkCluster([]float64{10, 10, 10}, []float64{4, 4})
+	live := mustPlacement(t, c, []cluster.MachineID{0, 0})
+	target := mustPlacement(t, c, []cluster.MachineID{1, 1})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := newExec(t, c, execCfg(1))
+	ex.SetPlan(pl)
+	clock := NewVirtualClock()
+	if err := ex.Tick(live, clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Counters().InFlight != 1 {
+		t.Fatalf("expected one in-flight move, got %+v", ex.Counters())
+	}
+
+	// Supersede mid-flight: the in-flight copy is aborted, the pending one
+	// cancelled, and the shard stays on its source.
+	ex.SetPlan(nil)
+	ctr := ex.Counters()
+	if ctr.Aborted != 1 || ctr.Cancelled != 1 || !ex.Done() {
+		t.Fatalf("counters after supersede = %+v", ctr)
+	}
+	if live.Home(0) != 0 {
+		t.Fatalf("aborted shard moved to %d", live.Home(0))
+	}
+
+	// A fresh plan over the same shards must run to completion: the old
+	// reservations are gone.
+	pl2, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetPlan(pl2)
+	drive(t, ex, live, clock)
+	if live.Home(0) != 1 || live.Home(1) != 1 {
+		t.Fatalf("replacement plan not realized: homes %d,%d", live.Home(0), live.Home(1))
+	}
+}
+
+func TestExecutorZeroPlanIsDone(t *testing.T) {
+	c := mkCluster([]float64{10}, []float64{1})
+	live := mustPlacement(t, c, []cluster.MachineID{0})
+	ex := newExec(t, c, execCfg(1))
+	if !ex.Done() {
+		t.Fatal("fresh executor should be done")
+	}
+	ex.SetPlan(&plan.Plan{})
+	if !ex.Done() {
+		t.Fatal("empty plan should be done")
+	}
+	if err := ex.Tick(live, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.NextEvent(0); ok {
+		t.Fatal("no events expected")
+	}
+}

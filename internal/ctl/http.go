@@ -1,0 +1,97 @@
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"rexchange/internal/metrics"
+)
+
+// Handler returns the controller's HTTP surface on a fresh ServeMux:
+//
+//	/status     controller state machine, round history tail, executor counters
+//	/placement  live placement (cluster + assignment) as JSON
+//	/plan       current move schedule with per-move state
+//	/metrics    Prometheus text exposition (balance report + controller counters)
+//
+// All endpoints are read-only snapshots taken under the controller lock;
+// serving them concurrently with Run is race-free on any clock.
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("/placement", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.SnapshotPlacement().Save(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/plan", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, struct {
+			Moves []MoveView `json:"moves"`
+		}{Moves: c.PlanView()})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		st := c.Status()
+		if err := metrics.WritePrometheus(w, c.Report()); err != nil {
+			return // client went away; nothing useful to do
+		}
+		writeCounterGauges(w, st)
+	})
+	return mux
+}
+
+// writeJSON marshals v with indentation onto w.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ctlGauges renders the controller/executor counters appended to /metrics
+// after the balance report.
+func writeCounterGauges(w http.ResponseWriter, st Status) {
+	stateVal := 0.0
+	switch st.State {
+	case StateSolving.String():
+		stateVal = 1
+	case StateMigrating.String():
+		stateVal = 2
+	}
+	gauges := []struct {
+		name, help string
+		val        float64
+	}{
+		{"rex_ctl_state", "Controller state (0=idle, 1=solving, 2=migrating).", stateVal},
+		{"rex_ctl_rounds_total", "Control rounds completed.", float64(st.Round)},
+		{"rex_ctl_solves_total", "Solve rounds triggered.", float64(st.Solves)},
+		{"rex_ctl_campaign", "Whether a rebalancing campaign is active.", boolGauge(st.Campaign)},
+		{"rex_exec_dispatched_total", "Moves dispatched by the executor.", float64(st.Executor.Dispatched)},
+		{"rex_exec_completed_total", "Moves committed to the live placement.", float64(st.Executor.Completed)},
+		{"rex_exec_failures_total", "Injected/observed copy failures.", float64(st.Executor.Failures)},
+		{"rex_exec_aborted_total", "In-flight moves aborted by plan supersession.", float64(st.Executor.Aborted)},
+		{"rex_exec_cancelled_total", "Pending moves cancelled by plan supersession.", float64(st.Executor.Cancelled)},
+		{"rex_exec_in_flight", "Moves currently in flight.", float64(st.Executor.InFlight)},
+		{"rex_exec_bytes_moved_total", "Disk units copied by completed and in-flight moves.", st.Executor.BytesMoved},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			g.name, g.help, g.name, g.name, g.val); err != nil {
+			return
+		}
+	}
+}
+
+// boolGauge renders a bool as 0/1.
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package ctl
+
+import "fmt"
+
+// Policy decides when the controller re-solves. It implements hysteresis
+// with a cooldown:
+//
+//   - a *campaign* starts when observed imbalance reaches HighWater;
+//   - while a campaign is active the controller keeps re-solving (once the
+//     previous plan has drained) until imbalance falls to LowWater, where
+//     the campaign ends — the dead band between the marks prevents churn
+//     around a single threshold;
+//   - an in-flight plan is superseded (cancelled and re-solved) only when
+//     imbalance climbs back above HighWater, never for mid-band drift;
+//   - Cooldown is the minimum spacing between solve rounds regardless of
+//     the watermarks.
+type Policy struct {
+	// HighWater triggers a re-solve (imbalance = MaxUtil/MeanUtil, 1.0 is
+	// perfect balance).
+	HighWater float64
+	// LowWater ends an active rebalancing campaign. Must be ≥ 1 and below
+	// HighWater.
+	LowWater float64
+	// Cooldown is the minimum seconds between consecutive solves.
+	Cooldown float64
+}
+
+// DefaultPolicy triggers at 25% over ideal and stops churning at 10% over,
+// with no cooldown (the window pacing already rate-limits solves).
+func DefaultPolicy() Policy {
+	return Policy{HighWater: 1.25, LowWater: 1.10}
+}
+
+// validate checks the watermark ordering.
+func (p Policy) validate() error {
+	if p.LowWater < 1 {
+		return fmt.Errorf("ctl: LowWater must be ≥ 1, got %g", p.LowWater)
+	}
+	if p.HighWater < p.LowWater {
+		return fmt.Errorf("ctl: HighWater %g below LowWater %g", p.HighWater, p.LowWater)
+	}
+	if p.Cooldown < 0 {
+		return fmt.Errorf("ctl: negative Cooldown %g", p.Cooldown)
+	}
+	return nil
+}
+
+// ShouldSolve reports whether a solve should run now. campaign is whether a
+// rebalancing campaign is active, migrating whether a plan is still
+// executing, and lastSolveAt the time of the previous solve (NaN-free: pass
+// everSolved=false before the first).
+func (p Policy) ShouldSolve(imb float64, campaign, migrating bool, now, lastSolveAt float64, everSolved bool) bool {
+	if everSolved && now-lastSolveAt < p.Cooldown {
+		return false
+	}
+	if imb >= p.HighWater {
+		return true
+	}
+	// Mid-band: never supersede a working plan, but keep an idle campaign
+	// going until the low-water mark is reached.
+	return campaign && !migrating && imb > p.LowWater
+}
+
+// Budget bounds one solve round. The LNS iteration count is the paper's
+// natural work unit (wall time per iteration is instance-dependent but
+// stable), and restarts multiply it across cores via core.SolveParallel.
+type Budget struct {
+	// Iterations is the LNS iteration budget per restart.
+	Iterations int
+	// Restarts is the number of parallel SRA restarts (best result wins);
+	// 0 means GOMAXPROCS.
+	Restarts int
+	// SolveSeconds is the modeled latency charged to the clock per solve
+	// round. On the virtual clock it stands in for real solver runtime so
+	// simulated schedules stay honest; on the wall clock real time passes
+	// anyway and this should be left 0.
+	SolveSeconds float64
+}
+
+// DefaultBudget returns a small per-round budget suitable for continuous
+// operation: frequent cheap re-solves beat rare exhaustive ones when load
+// keeps drifting.
+func DefaultBudget() Budget {
+	return Budget{Iterations: 600, Restarts: 2}
+}
+
+// validate checks the budget.
+func (b Budget) validate() error {
+	if b.Iterations <= 0 {
+		return fmt.Errorf("ctl: Budget.Iterations must be positive, got %d", b.Iterations)
+	}
+	if b.Restarts < 0 {
+		return fmt.Errorf("ctl: negative Budget.Restarts %d", b.Restarts)
+	}
+	if b.SolveSeconds < 0 {
+		return fmt.Errorf("ctl: negative Budget.SolveSeconds %g", b.SolveSeconds)
+	}
+	return nil
+}

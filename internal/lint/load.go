@@ -86,6 +86,12 @@ func (l *Loader) dirFor(path string) (string, error) {
 	if st, err := os.Stat(dir); err == nil && st.IsDir() {
 		return dir, nil
 	}
+	// Dependencies vendored into the standard library (net/http pulls in
+	// golang.org/x/... this way) live under $GOROOT/src/vendor.
+	vdir := filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	if st, err := os.Stat(vdir); err == nil && st.IsDir() {
+		return vdir, nil
+	}
 	return "", fmt.Errorf("lint: cannot resolve import %q (only module-local and standard-library imports are supported)", path)
 }
 

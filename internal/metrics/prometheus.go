@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"rexchange/internal/vec"
+)
+
+// promGauge is one exposed gauge: name, help text, and the value extractor.
+var promGauges = []struct {
+	name string
+	help string
+	val  func(r Report) float64
+}{
+	{"rex_machines", "Number of serving (non-vacant) machines.", func(r Report) float64 { return float64(r.Machines) }},
+	{"rex_vacant_machines", "Number of machines hosting no shards.", func(r Report) float64 { return float64(r.Vacant) }},
+	{"rex_max_util", "Highest load/speed among serving machines.", func(r Report) float64 { return r.MaxUtil }},
+	{"rex_min_util", "Lowest load/speed among serving machines.", func(r Report) float64 { return r.MinUtil }},
+	{"rex_mean_util", "Capacity-weighted ideal utilization.", func(r Report) float64 { return r.MeanUtil }},
+	{"rex_imbalance", "MaxUtil/MeanUtil; 1.0 is perfect balance.", func(r Report) float64 { return r.Imbalance }},
+	{"rex_util_stddev", "Standard deviation of per-machine utilization.", func(r Report) float64 { return r.StdDev }},
+	{"rex_util_cv", "Coefficient of variation of per-machine utilization.", func(r Report) float64 { return r.CV }},
+	{"rex_util_gini", "Gini coefficient of per-machine utilization.", func(r Report) float64 { return r.Gini }},
+}
+
+// WritePrometheus emits the report in the Prometheus text exposition format
+// (version 0.0.4): every Report field as a #-annotated gauge, with the
+// per-resource static pressure as one labelled family. It backs rexd's
+// /metrics endpoint and works with any scraper.
+func WritePrometheus(w io.Writer, r Report) error {
+	for _, g := range promGauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			g.name, g.help, g.name, g.name, promFloat(g.val(r))); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP rex_static_pressure Max used/capacity over machines, per static resource.\n# TYPE rex_static_pressure gauge\n"); err != nil {
+		return err
+	}
+	for res := 0; res < vec.NumResources; res++ {
+		if _, err := fmt.Fprintf(w, "rex_static_pressure{resource=%q} %s\n",
+			vec.Resource(res).String(), promFloat(r.StaticPressure[res])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; integers without exponent).
+func promFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

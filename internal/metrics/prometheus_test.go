@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"rexchange/internal/vec"
+)
+
+// TestWritePrometheusFormat pins the exact exposition text for a fixed
+// report: scrapers parse this format, so any drift is a breaking change.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := Report{
+		Machines:       3,
+		Vacant:         1,
+		MaxUtil:        0.9,
+		MinUtil:        0.25,
+		MeanUtil:       0.6,
+		Imbalance:      1.5,
+		StdDev:         0.25,
+		CV:             0.125,
+		Gini:           0.2,
+		StaticPressure: vec.New(0.5, 1, 0.25),
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rex_machines Number of serving (non-vacant) machines.
+# TYPE rex_machines gauge
+rex_machines 3
+# HELP rex_vacant_machines Number of machines hosting no shards.
+# TYPE rex_vacant_machines gauge
+rex_vacant_machines 1
+# HELP rex_max_util Highest load/speed among serving machines.
+# TYPE rex_max_util gauge
+rex_max_util 0.9
+# HELP rex_min_util Lowest load/speed among serving machines.
+# TYPE rex_min_util gauge
+rex_min_util 0.25
+# HELP rex_mean_util Capacity-weighted ideal utilization.
+# TYPE rex_mean_util gauge
+rex_mean_util 0.6
+# HELP rex_imbalance MaxUtil/MeanUtil; 1.0 is perfect balance.
+# TYPE rex_imbalance gauge
+rex_imbalance 1.5
+# HELP rex_util_stddev Standard deviation of per-machine utilization.
+# TYPE rex_util_stddev gauge
+rex_util_stddev 0.25
+# HELP rex_util_cv Coefficient of variation of per-machine utilization.
+# TYPE rex_util_cv gauge
+rex_util_cv 0.125
+# HELP rex_util_gini Gini coefficient of per-machine utilization.
+# TYPE rex_util_gini gauge
+rex_util_gini 0.2
+# HELP rex_static_pressure Max used/capacity over machines, per static resource.
+# TYPE rex_static_pressure gauge
+rex_static_pressure{resource="mem"} 0.5
+rex_static_pressure{resource="disk"} 1
+rex_static_pressure{resource="net"} 0.25
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusFloats checks the value rendering corner cases survive
+// a Prometheus parse: shortest round-trip form, no localized formatting.
+func TestWritePrometheusFloats(t *testing.T) {
+	r := Report{MaxUtil: 1.0 / 3.0, Imbalance: 1e-9}
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rex_max_util 0.3333333333333333\n") {
+		t.Fatalf("unexpected float rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "rex_imbalance 1e-09\n") {
+		t.Fatalf("unexpected exponent rendering:\n%s", out)
+	}
+}

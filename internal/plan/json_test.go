@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		Moves: []Move{
+			{S: 3, From: 0, To: 2},
+			{S: 1, From: 2, To: 1},
+			{S: 3, From: 2, To: 0},
+		},
+		Staged:    1,
+		Displaced: 0,
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("roundtrip mismatch:\ngot  %+v\nwant %+v", got, p)
+	}
+}
+
+func TestPlanJSONFileRoundTrip(t *testing.T) {
+	p := &Plan{Moves: []Move{{S: 0, From: 1, To: 0}}}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("file roundtrip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestPlanLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     `{"moves": [`,
+		"negative id": `{"moves": [{"s": -1, "from": 0, "to": 1}]}`,
+		"self move":   `{"moves": [{"s": 0, "from": 2, "to": 2}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Load(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

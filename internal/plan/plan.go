@@ -15,8 +15,11 @@
 package plan
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 
 	"rexchange/internal/cluster"
@@ -31,13 +34,13 @@ type Move struct {
 
 // Plan is an ordered, transiently feasible move schedule.
 type Plan struct {
-	Moves []Move
+	Moves []Move `json:"moves"`
 	// Staged counts moves that were intermediate hops rather than direct
 	// relocations to the shard's final machine.
-	Staged int
+	Staged int `json:"staged,omitempty"`
 	// Displaced counts shards that were not part of the reassignment but
 	// had to be temporarily evicted to break deadlocks.
-	Displaced int
+	Displaced int `json:"displaced,omitempty"`
 }
 
 // NumMoves returns the total number of migration steps.
@@ -312,6 +315,56 @@ func (pl Planner) bestStaging(
 		}
 	}
 	return best
+}
+
+// Save writes the plan as JSON to w, so schedules can be computed offline
+// (rebalance -plan-out) and executed later (rexd -plan-in).
+func (p *Plan) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// SaveFile writes the plan as JSON to path.
+func (p *Plan) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("plan: save: %w", err)
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return fmt.Errorf("plan: save %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a JSON plan from r and checks structural sanity (IDs
+// non-negative, no self-moves). Transient feasibility against a placement
+// is checked by Validate.
+func Load(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("plan: load: %w", err)
+	}
+	for i, mv := range p.Moves {
+		if mv.S < 0 || mv.From < 0 || mv.To < 0 {
+			return nil, fmt.Errorf("plan: load: move %d has negative IDs (%d: %d→%d)", i, mv.S, mv.From, mv.To)
+		}
+		if mv.From == mv.To {
+			return nil, fmt.Errorf("plan: load: move %d is a self-move", i)
+		}
+	}
+	return &p, nil
+}
+
+// LoadFile reads a JSON plan from path.
+func LoadFile(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("plan: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // Validate replays the plan from the given starting placement and verifies

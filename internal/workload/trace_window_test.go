@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+func TestTraceWindow(t *testing.T) {
+	tr := &Trace{
+		Duration: 10,
+		Queries: []Query{
+			{At: 0, Cost: 1},
+			{At: 2, Cost: 2},
+			{At: 5, Cost: 3},
+			{At: 5, Cost: 4}, // duplicate timestamp
+			{At: 9.5, Cost: 5},
+		},
+	}
+
+	w := tr.Window(2, 5)
+	// the start boundary is inclusive, the end boundary exclusive
+	if len(w.Queries) != 1 || w.Queries[0].Cost != 2 {
+		t.Fatalf("Window(2,5) = %+v, want only the query at t=2", w.Queries)
+	}
+	if w.Queries[0].At != 0 {
+		t.Fatalf("Window(2,5) query rebased to %g, want 0", w.Queries[0].At)
+	}
+	if w.Duration != 3 {
+		t.Fatalf("Window(2,5) duration %g, want 3", w.Duration)
+	}
+
+	// both duplicates at the inclusive boundary are kept
+	w = tr.Window(5, 10)
+	if len(w.Queries) != 3 {
+		t.Fatalf("Window(5,10) has %d queries, want 3", len(w.Queries))
+	}
+	if w.Queries[0].At != 0 || w.Queries[2].At != 4.5 {
+		t.Fatalf("Window(5,10) not rebased: %+v", w.Queries)
+	}
+
+	// the whole trace, and windows past either end
+	if w = tr.Window(0, 10); len(w.Queries) != 5 || w.Duration != 10 {
+		t.Fatalf("Window(0,10) = %+v", w)
+	}
+	if w = tr.Window(-5, 0); len(w.Queries) != 0 || w.Duration != 5 {
+		t.Fatalf("Window(-5,0) = %+v", w)
+	}
+	if w = tr.Window(10, 20); len(w.Queries) != 0 {
+		t.Fatalf("Window(10,20) = %+v", w)
+	}
+
+	// empty and inverted windows yield an empty trace
+	if w = tr.Window(3, 3); len(w.Queries) != 0 || w.Duration != 0 {
+		t.Fatalf("Window(3,3) = %+v", w)
+	}
+	if w = tr.Window(7, 2); len(w.Queries) != 0 || w.Duration != 0 {
+		t.Fatalf("Window(7,2) = %+v", w)
+	}
+}
+
+func TestTraceWindowDoesNotAliasParent(t *testing.T) {
+	tr := &Trace{Duration: 4, Queries: []Query{{At: 1, Cost: 1}, {At: 2, Cost: 2}}}
+	w := tr.Window(1, 3)
+	w.Queries[0].Cost = 99
+	if tr.Queries[0].Cost != 1 {
+		t.Fatal("Window mutated the parent trace")
+	}
+}
