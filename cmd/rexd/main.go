@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 	"rexchange/internal/cluster"
 	"rexchange/internal/ctl"
 	"rexchange/internal/metrics"
+	"rexchange/internal/obs"
 	"rexchange/internal/plan"
 	"rexchange/internal/sim"
 	"rexchange/internal/workload"
@@ -71,6 +73,9 @@ func run() error {
 
 		httpAddr = flag.String("http", "", "serve /status /placement /plan /metrics on this address")
 		planIn   = flag.String("plan-in", "", "execute this precomputed plan JSON and exit")
+
+		eventsPath = flag.String("events", "", "write a JSONL event journal (round/solve/move spans) to this file")
+		metricsOut = flag.String("metrics-out", "", "write the final Prometheus exposition to this file on exit")
 	)
 	flag.Parse()
 
@@ -108,8 +113,21 @@ func run() error {
 		ecfg.Failure = func(plan.Move, int) bool { return fr.Float64() < fp }
 	}
 
+	// The registry always exists — /metrics and -metrics-out render it;
+	// the journal only when -events asks for one. On the virtual clock
+	// the journal is bit-reproducible across runs and GOMAXPROCS.
+	reg := obs.NewRegistry()
+	journal, closeJournal, err := openJournal(*eventsPath)
+	if err != nil {
+		return err
+	}
+	defer closeJournal()
+
 	if *planIn != "" {
-		return runPlan(p, *planIn, clock, ecfg)
+		if err := runPlan(p, *planIn, clock, ecfg, reg, journal); err != nil {
+			return err
+		}
+		return finishObs(reg, journal, closeJournal, *eventsPath, *metricsOut)
 	}
 
 	tr, err := loadOrMakeTrace(*replay, *rounds, *window, *rate, *diurnal, *seed)
@@ -127,6 +145,8 @@ func run() error {
 	cfg.Budget = ctl.Budget{Iterations: *iters, Restarts: *restarts, SolveSeconds: *solveCost}
 	cfg.Exec = ecfg
 	cfg.Seed = *seed
+	cfg.Registry = reg
+	cfg.Journal = journal
 	cfg.OnRound = func(st ctl.RoundStat) {
 		line := fmt.Sprintf("round %3d t=%8.1f imbalance=%.4f max=%.4f", st.Round, st.At, st.Imbalance, st.MaxUtil)
 		if st.Solved {
@@ -172,12 +192,68 @@ func run() error {
 		ctr.Dispatched, ctr.Completed, ctr.Failures, ctr.Aborted, ctr.BytesMoved)
 	fmt.Printf("final imbalance=%.4f max=%.4f mean=%.4f after %d rounds, %d solves\n",
 		rep.Imbalance, rep.MaxUtil, rep.MeanUtil, c.Status().Round, c.Status().Solves)
+	return finishObs(reg, journal, closeJournal, *eventsPath, *metricsOut)
+}
+
+// openJournal opens a buffered JSONL journal on path; with an empty path
+// it returns a nil journal and a no-op closer.
+func openJournal(path string) (*obs.Journal, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	j := obs.NewJournal(bw)
+	closed := false
+	closer := func() error {
+		if closed {
+			return nil
+		}
+		closed = true
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return j, closer, nil
+}
+
+// finishObs flushes the journal (surfacing any sticky write error) and
+// renders the final exposition to -metrics-out.
+func finishObs(reg *obs.Registry, journal *obs.Journal, closeJournal func() error, eventsPath, metricsOut string) error {
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			return err
+		}
+		if err := closeJournal(); err != nil {
+			return fmt.Errorf("events %s: %w", eventsPath, err)
+		}
+		fmt.Printf("events: %d journal events → %s\n", journal.Len(), eventsPath)
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: exposition → %s\n", metricsOut)
+	}
 	return nil
 }
 
 // runPlan executes a precomputed plan against the placement with the async
 // executor and prints the migration summary.
-func runPlan(p *cluster.Placement, path string, clock ctl.Clock, ecfg ctl.ExecConfig) error {
+func runPlan(p *cluster.Placement, path string, clock ctl.Clock, ecfg ctl.ExecConfig, reg *obs.Registry, journal *obs.Journal) error {
 	pl, err := plan.LoadFile(path)
 	if err != nil {
 		return err
@@ -186,6 +262,7 @@ func runPlan(p *cluster.Placement, path string, clock ctl.Clock, ecfg ctl.ExecCo
 	if err != nil {
 		return err
 	}
+	ex.AttachObs(reg, journal)
 	ex.SetPlan(pl)
 	start := clock.Now()
 	if err := ex.Tick(p, start); err != nil {

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"rexchange/internal/obs"
 	"rexchange/internal/workload"
 )
 
@@ -107,6 +109,115 @@ func TestRexdPlanReplayRoundTrip(t *testing.T) {
 		"-in", placement, "-plan-in", planPath, "-virtual", "-bandwidth", "500", "-inflight", "8")
 	if !strings.Contains(out, "plan executed:") || !strings.Contains(out, "final imbalance=") {
 		t.Fatalf("plan replay output unexpected:\n%s", out)
+	}
+}
+
+func TestRexdEventsAndMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	rexd, _ := buildBinaries(t, dir)
+	placement, trace := writeInstance(t, dir)
+	events := filepath.Join(dir, "run.jsonl")
+	metricsOut := filepath.Join(dir, "metrics.prom")
+
+	run := func(path string) []obs.Event {
+		out := runCmd(t, rexd,
+			"-in", placement, "-virtual", "-replay", trace,
+			"-rounds", "3", "-window", "10", "-iters", "200", "-restarts", "1",
+			"-events", path, "-metrics-out", metricsOut)
+		if !strings.Contains(out, "journal events → ") {
+			t.Fatalf("missing journal summary line:\n%s", out)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		evs, err := obs.ReadJournal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+
+	evs := run(events)
+	roundBegins := 0
+	for _, ev := range evs {
+		if ev.Span == obs.SpanRound && ev.Phase == obs.PhaseBegin {
+			roundBegins++
+		}
+	}
+	if roundBegins != 3 {
+		t.Fatalf("want 3 round-begin events, got %d of %d total", roundBegins, len(evs))
+	}
+
+	// The exposition must pass the linter and carry the core families.
+	raw, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := obs.LintExposition(bytes.NewReader(raw),
+		"rex_ctl_rounds_total", "rex_exec_dispatched_total",
+		"rex_solver_runs_total", "rex_imbalance", "rex_serving")
+	if len(problems) > 0 {
+		t.Fatalf("metrics lint problems: %v", problems)
+	}
+
+	// Same config again → byte-identical journal (virtual clock).
+	events2 := filepath.Join(dir, "run2.jsonl")
+	run(events2)
+	a, _ := os.ReadFile(events)
+	b, _ := os.ReadFile(events2)
+	if !bytes.Equal(a, b) {
+		t.Fatal("journal not reproducible across identical virtual-clock runs")
+	}
+}
+
+func TestRexdPlanReplayEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	rexd, rebalance := buildBinaries(t, dir)
+	placement, _ := writeInstance(t, dir)
+	planPath := filepath.Join(dir, "plan.json")
+	events := filepath.Join(dir, "replay.jsonl")
+
+	runCmd(t, rebalance, "-in", placement, "-k", "0", "-iters", "300", "-plan-out", planPath)
+	out := runCmd(t, rexd,
+		"-in", placement, "-plan-in", planPath, "-virtual",
+		"-bandwidth", "500", "-inflight", "8", "-events", events)
+	if !strings.Contains(out, "plan executed:") {
+		t.Fatalf("plan replay output unexpected:\n%s", out)
+	}
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadJournal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	for _, ev := range evs {
+		if ev.Span != obs.SpanMove {
+			t.Fatalf("plan replay journal should only hold move spans, got %q", ev.Span)
+		}
+		if ev.Move == nil {
+			t.Fatalf("move span without move payload: %+v", ev)
+		}
+		switch ev.Phase {
+		case obs.PhaseBegin:
+			begins++
+		case obs.PhaseEnd:
+			ends++
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("unbalanced move spans: %d begins, %d ends", begins, ends)
 	}
 }
 

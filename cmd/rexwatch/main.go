@@ -1,0 +1,171 @@
+// rexwatch renders a rexd event journal (-events out.jsonl) as a
+// per-round table, and doubles as a metrics-exposition validator for CI:
+//
+//	rexwatch run.jsonl
+//	rexwatch -lint-metrics metrics.prom -require rex_ctl_rounds_total,rex_exec_in_flight
+//
+// The table mode aggregates round, solve and move spans by round; the
+// lint mode runs the promlint-style checks from internal/obs over a full
+// text exposition and exits 1 on any problem or missing required family.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"rexchange/internal/obs"
+)
+
+func main() {
+	var (
+		lintMetrics = flag.String("lint-metrics", "", "validate this Prometheus exposition file instead of reading a journal")
+		require     = flag.String("require", "", "comma-separated metric families that must be present (with -lint-metrics)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rexwatch [flags] journal.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *lintMetrics != "" {
+		if err := lintFile(*lintMetrics, *require); err != nil {
+			fmt.Fprintln(os.Stderr, "rexwatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := watch(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "rexwatch:", err)
+		os.Exit(1)
+	}
+}
+
+// lintFile validates one exposition file; every problem is printed and any
+// problem is fatal.
+func lintFile(path, require string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var required []string
+	for _, name := range strings.Split(require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			required = append(required, name)
+		}
+	}
+	problems := obs.LintExposition(f, required...)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%s: %d problem(s)", path, len(problems))
+	}
+	fmt.Printf("%s: ok (%d required families present)\n", path, len(required))
+	return nil
+}
+
+// roundAgg accumulates one round's spans.
+type roundAgg struct {
+	t         float64 // round begin timestamp
+	imbalance float64 // imbalance at round end (begin value until end seen)
+	solved    bool
+	objective float64
+	planMoves int
+	moveOK    int
+	moveFail  int
+	moveAbort int
+	errs      int
+}
+
+// watch aggregates a journal into a per-round table with a totals footer.
+func watch(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJournal(f)
+	if err != nil {
+		return err
+	}
+
+	rounds := map[int]*roundAgg{}
+	get := func(r int) *roundAgg {
+		a := rounds[r]
+		if a == nil {
+			a = &roundAgg{}
+			rounds[r] = a
+		}
+		return a
+	}
+	for _, ev := range events {
+		a := get(ev.Round)
+		switch {
+		case ev.Span == obs.SpanRound && ev.Phase == obs.PhaseBegin:
+			a.t = ev.T
+			a.imbalance = ev.Imbalance
+		case ev.Span == obs.SpanRound && ev.Phase == obs.PhaseEnd:
+			a.imbalance = ev.Imbalance
+			if ev.Outcome == obs.OutcomeErr {
+				a.errs++
+			}
+		case ev.Span == obs.SpanSolve && ev.Phase == obs.PhaseEnd:
+			if ev.Outcome == obs.OutcomeOK {
+				a.solved = true
+				a.objective = ev.Objective
+				a.planMoves = ev.Moves
+			} else {
+				a.errs++
+			}
+		case ev.Span == obs.SpanMove && ev.Phase == obs.PhaseEnd:
+			switch ev.Outcome {
+			case obs.OutcomeOK:
+				a.moveOK++
+			case obs.OutcomeFailed:
+				a.moveFail++
+			case obs.OutcomeAborted:
+				a.moveAbort++
+			}
+		}
+	}
+
+	ids := make([]int, 0, len(rounds))
+	for r := range rounds {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tt\timbalance\tsolve\tplan\tok\tfail\tabort\terrs")
+	var tot roundAgg
+	for _, r := range ids {
+		a := rounds[r]
+		solve := "-"
+		if a.solved {
+			solve = fmt.Sprintf("obj=%.4f", a.objective)
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%.4f\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			r, a.t, a.imbalance, solve, a.planMoves, a.moveOK, a.moveFail, a.moveAbort, a.errs)
+		tot.planMoves += a.planMoves
+		tot.moveOK += a.moveOK
+		tot.moveFail += a.moveFail
+		tot.moveAbort += a.moveAbort
+		tot.errs += a.errs
+	}
+	fmt.Fprintf(tw, "total\t\t\t\t%d\t%d\t%d\t%d\t%d\n",
+		tot.planMoves, tot.moveOK, tot.moveFail, tot.moveAbort, tot.errs)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%d events, %d rounds\n", len(events), len(ids))
+	return nil
+}

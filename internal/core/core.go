@@ -96,6 +96,14 @@ type Config struct {
 	// (experiment F4).
 	KeepTrajectory bool
 
+	// Recorder, when non-nil, receives solver telemetry: per-operator
+	// iteration outcome counts (batched locally and flushed once per run,
+	// so the hot loop only pays an array increment) and per-run totals
+	// with wall-clock duration. Telemetry never influences the search —
+	// results remain bit-identical with or without a Recorder — and a nil
+	// Recorder costs a single pointer check per iteration.
+	Recorder Recorder
+
 	// refKernel (tests only) runs the retained clone-and-rescan reference
 	// kernel instead of the delta kernel. Both must produce bit-identical
 	// results for a fixed seed; see TestKernelEquivalence.
@@ -120,6 +128,50 @@ func DefaultConfig() Config {
 		Planner:      plan.DefaultPlanner(),
 	}
 }
+
+// Recorder observes solver progress. Implementations must be safe for
+// concurrent use: SolveParallel restarts flush their counts from worker
+// goroutines. internal/obs.SolverRecorder is the standard implementation;
+// the interface lives here (with string-typed labels) so the solver stays
+// free of telemetry dependencies.
+type Recorder interface {
+	// RecordIterations reports that n LNS iterations paired destroyOp
+	// with repairOp and ended with the given outcome — one of
+	// "repair_failed", "rejected", "accepted", "improved", "new_best".
+	// Called at most once per combination at the end of each run.
+	RecordIterations(destroyOp, repairOp, outcome string, n int)
+	// RecordRun reports one completed run's totals and wall-clock
+	// duration in seconds.
+	RecordRun(iterations, accepted, repairFailures int, seconds float64)
+}
+
+// Iteration outcome labels passed to Recorder.RecordIterations, in
+// severity order: the repair failed outright; the candidate was evaluated
+// but rejected; accepted without improving; improved the current
+// solution; or set a new best-so-far.
+const (
+	IterRepairFailed = "repair_failed"
+	IterRejected     = "rejected"
+	IterAccepted     = "accepted"
+	IterImproved     = "improved"
+	IterNewBest      = "new_best"
+)
+
+// iterOutcomes indexes the outcome labels for the solver's local batch
+// counters; the iterIdx* constants below are positions in this array.
+var iterOutcomes = [...]string{IterRepairFailed, IterRejected, IterAccepted, IterImproved, IterNewBest}
+
+// Outcome indices into iterOutcomes, used by the hot loop.
+const (
+	iterIdxRepairFailed = iota
+	iterIdxRejected
+	iterIdxAccepted
+	iterIdxImproved
+	iterIdxNewBest
+)
+
+// numIterOutcomes is the size of the outcome dimension.
+const numIterOutcomes = len(iterOutcomes)
 
 // Result is the outcome of one SRA run.
 type Result struct {

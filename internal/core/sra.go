@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"rexchange/internal/cluster"
 	"rexchange/internal/metrics"
@@ -63,6 +64,12 @@ type state struct {
 	accepted       int
 	repairFailures int
 	planFallbacks  int
+
+	// iterCounts batches Recorder outcome counts locally, indexed
+	// (di*len(repairOps)+ri)*numIterOutcomes+outcome, so the hot loop
+	// pays one slice increment and the flush happens once per run. nil
+	// when no Recorder is configured.
+	iterCounts []int
 }
 
 // touchRec is one journal entry mirrored into core: the shard and machine a
@@ -111,6 +118,9 @@ func newState(cfg Config, p *cluster.Placement, k int) *state {
 	}
 	st.dWeights = uniformWeights(len(st.destroyOps))
 	st.rWeights = uniformWeights(len(st.repairOps))
+	if cfg.Recorder != nil {
+		st.iterCounts = make([]int, len(st.destroyOps)*len(st.repairOps)*numIterOutcomes)
+	}
 	return st
 }
 
@@ -136,6 +146,10 @@ func uniformWeights(n int) []float64 {
 // reference objective.
 func (st *state) run() {
 	cfg := st.cfg
+	var runStart time.Time
+	if cfg.Recorder != nil {
+		runStart = time.Now()
+	}
 	st.curObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
 	st.best = st.cur.Clone()
 	st.bestObj = st.curObj
@@ -194,6 +208,7 @@ func (st *state) run() {
 		}
 
 		reward := 0.0
+		outcome := iterIdxRepairFailed
 		if !ok {
 			// Discard the neighborhood. The incremental objective state
 			// was not synced yet, so rolling the placement back is enough.
@@ -239,18 +254,25 @@ func (st *state) run() {
 					st.bestObj = newObj
 					st.improving = append(st.improving, st.best)
 					reward = 3
+					outcome = iterIdxNewBest
 				case improvedCur:
 					reward = 1
+					outcome = iterIdxImproved
 				default:
 					reward = 0.4
+					outcome = iterIdxAccepted
 				}
 			} else {
+				outcome = iterIdxRejected
 				if cfg.refKernel {
 					st.cur = snap
 				} else {
 					st.rollbackIncremental()
 				}
 			}
+		}
+		if st.iterCounts != nil {
+			st.iterCounts[(di*len(st.repairOps)+ri)*numIterOutcomes+outcome]++
 		}
 		if cfg.Adaptive {
 			st.updateWeight(st.dWeights, di, reward)
@@ -260,6 +282,27 @@ func (st *state) run() {
 			st.trajectory = append(st.trajectory, st.bestObj)
 		}
 	}
+	if cfg.Recorder != nil {
+		st.flushRecorder(time.Since(runStart).Seconds())
+	}
+}
+
+// flushRecorder drains the batched per-operator outcome counts into the
+// configured Recorder, then reports the run totals. Wall-clock seconds
+// feed telemetry only; they never influence the search.
+func (st *state) flushRecorder(seconds float64) {
+	rec := st.cfg.Recorder
+	for di := range st.destroyOps {
+		for ri := range st.repairOps {
+			base := (di*len(st.repairOps) + ri) * numIterOutcomes
+			for o := 0; o < numIterOutcomes; o++ {
+				if n := st.iterCounts[base+o]; n > 0 {
+					rec.RecordIterations(st.destroyOps[di].name, st.repairOps[ri].name, iterOutcomes[o], n)
+				}
+			}
+		}
+	}
+	rec.RecordRun(st.cfg.Iterations, st.accepted, st.repairFailures, seconds)
 }
 
 // pickOp selects an operator index: adaptive roulette or uniform.

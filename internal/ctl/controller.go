@@ -5,10 +5,12 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rexchange/internal/cluster"
 	"rexchange/internal/core"
 	"rexchange/internal/metrics"
+	"rexchange/internal/obs"
 )
 
 // State is the controller's top-level mode, exposed on /status.
@@ -57,6 +59,18 @@ type Config struct {
 	// with that round's stat (outside the controller lock). rexd uses it
 	// for progress logging.
 	OnRound func(RoundStat)
+
+	// Registry, when non-nil, receives the control-plane metric families
+	// (round/solve lifecycle, executor migration lifecycle, solver
+	// telemetry, and the live balance report) and is what /metrics
+	// renders. Nil disables registry-backed metrics; the HTTP handler
+	// falls back to synthesizing gauges from Status snapshots.
+	Registry *obs.Registry
+	// Journal, when non-nil, receives structured round/solve/move span
+	// events. Every event is emitted from the Run goroutine with Clock
+	// timestamps, so a virtual-clock run journals bit-reproducibly
+	// (byte-identical across runs and GOMAXPROCS).
+	Journal *obs.Journal
 }
 
 // DefaultConfig returns a continuous-operation configuration: 10-second
@@ -107,6 +121,14 @@ type Controller struct {
 	lastReport  metrics.Report
 	history     []RoundStat
 
+	// Telemetry (all may be nil/zero when Config.Registry/Journal are
+	// unset). recorder is handed to per-round solves unless the solver
+	// config carries its own.
+	m         *ctlMetrics
+	collector *metrics.Collector
+	journal   *obs.Journal
+	recorder  core.Recorder
+
 	stopped atomic.Bool
 }
 
@@ -130,14 +152,38 @@ func New(cfg Config, clock Clock, p *cluster.Placement, src LoadSource) (*Contro
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:        cfg,
 		clock:      clock,
 		src:        src,
 		live:       p,
 		exec:       ex,
+		journal:    cfg.Journal,
 		lastReport: metrics.Compute(p),
-	}, nil
+	}
+	if cfg.Registry != nil {
+		c.m = newCtlMetrics(cfg.Registry)
+		c.collector = metrics.NewCollector(cfg.Registry)
+		c.collector.Set(c.lastReport)
+		c.recorder = obs.NewSolverRecorder(cfg.Registry)
+	}
+	ex.m, ex.journal = c.m, c.journal
+	return c, nil
+}
+
+// setState transitions the controller state, mirroring it onto the
+// rex_ctl_state gauge. Callers hold c.mu.
+func (c *Controller) setState(s State) {
+	c.state = s
+	c.m.stateGauge(s)
+}
+
+// emit journals one round/solve event; no-op without a journal. Only the
+// Run goroutine emits, which keeps the event order deterministic.
+func (c *Controller) emit(ev obs.Event) {
+	if c.journal != nil {
+		c.journal.Emit(ev)
+	}
 }
 
 // Stop makes Run return after the current round. Safe to call from any
@@ -190,7 +236,7 @@ func (c *Controller) tickExec() error {
 	defer c.mu.Unlock()
 	err := c.exec.Tick(c.live, c.clock.Now())
 	if c.exec.Done() && c.state == StateMigrating {
-		c.state = StateIdle
+		c.setState(StateIdle)
 	}
 	return err
 }
@@ -217,8 +263,11 @@ func (c *Controller) drain() error {
 func (c *Controller) noteExecError(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.m != nil {
+		c.m.execErrors.Inc()
+	}
 	if c.state == StateMigrating {
-		c.state = StateIdle
+		c.setState(StateIdle)
 	}
 	if n := len(c.history); n > 0 && c.history[n-1].Err == "" {
 		c.history[n-1].Err = err.Error()
@@ -252,7 +301,16 @@ func (c *Controller) snapshotAndDecide(t0, t1 float64) error {
 		Imbalance: rep.Imbalance, MaxUtil: rep.MaxUtil, MeanUtil: rep.MeanUtil,
 	}
 	c.round++
+	if c.m != nil {
+		c.m.rounds.Inc()
+	}
+	if c.collector != nil {
+		c.collector.Set(rep)
+	}
 	c.mu.Unlock()
+
+	c.emit(obs.Event{T: now, Span: obs.SpanRound, Phase: obs.PhaseBegin,
+		Round: stat.Round, Imbalance: rep.Imbalance})
 
 	if trigger {
 		c.solveRound(&stat)
@@ -264,8 +322,20 @@ func (c *Controller) snapshotAndDecide(t0, t1 float64) error {
 	if c.campaign && rep.Imbalance <= c.cfg.Policy.LowWater {
 		c.campaign = false
 	}
+	if c.m != nil {
+		c.m.campaign.Set(boolGauge(c.campaign))
+	}
 	c.history = append(c.history, stat)
 	c.mu.Unlock()
+
+	outcome := obs.OutcomeOK
+	if stat.Err != "" {
+		outcome = obs.OutcomeErr
+	}
+	c.emit(obs.Event{T: c.clock.Now(), Span: obs.SpanRound, Phase: obs.PhaseEnd,
+		Round: stat.Round, Outcome: outcome, Err: stat.Err,
+		Imbalance: rep.Imbalance, Moves: stat.PlanMoves})
+
 	if c.cfg.OnRound != nil {
 		c.cfg.OnRound(stat)
 	}
@@ -309,41 +379,73 @@ func (c *Controller) applyLoads(loads []float64) error {
 // later trigger.
 func (c *Controller) solveRound(stat *RoundStat) {
 	c.mu.Lock()
+	if c.m != nil && !c.exec.Done() {
+		c.m.supersessions.Inc()
+	}
+	// Journal move events from here on belong to the round that installed
+	// (or, for aborts, superseded) the plan.
+	c.exec.round = stat.Round
 	c.exec.SetPlan(nil) // supersede: abort in-flight, cancel pending
-	c.state = StateSolving
+	c.setState(StateSolving)
 	planning := c.live.Clone()
 	c.mu.Unlock()
+
+	c.emit(obs.Event{T: c.clock.Now(), Span: obs.SpanSolve, Phase: obs.PhaseBegin,
+		Round: stat.Round, Imbalance: stat.Imbalance})
 
 	scfg := c.cfg.Solver
 	scfg.Iterations = c.cfg.Budget.Iterations
 	// Fresh seed per round, decorrelated by a large odd stride.
 	scfg.Seed = c.cfg.Seed + int64(stat.Round)*0x9E3779B1
+	if scfg.Recorder == nil {
+		scfg.Recorder = c.recorder
+	}
+	wallStart := time.Now()
 	res, err := core.New(scfg).SolveParallel(planning, c.cfg.Budget.Restarts)
+	if c.m != nil {
+		// Wall time feeds metrics only; the journal sticks to Clock
+		// seconds so virtual-clock runs stay bit-reproducible.
+		c.m.solveSeconds.Observe(time.Since(wallStart).Seconds())
+	}
 	c.clock.Sleep(c.cfg.Budget.SolveSeconds)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.clock.Now()
 	c.solves++
+	if c.m != nil {
+		c.m.solves.Inc()
+	}
 	c.lastSolveAt = now
 	c.everSolved = true
 	stat.Solved = true
 	if err != nil {
 		stat.Err = err.Error()
-		c.state = StateIdle
+		c.setState(StateIdle)
+		c.emit(obs.Event{T: now, Span: obs.SpanSolve, Phase: obs.PhaseEnd,
+			Round: stat.Round, Outcome: obs.OutcomeErr, Err: stat.Err,
+			Seconds: c.cfg.Budget.SolveSeconds})
 		return
 	}
 	stat.PlanMoves = res.Plan.NumMoves()
 	stat.Objective = res.Objective
+	if c.m != nil {
+		c.m.plannedMoves.Add(float64(res.Plan.NumMoves()))
+		c.m.lastPlanMoves.Set(float64(res.Plan.NumMoves()))
+	}
+	c.emit(obs.Event{T: now, Span: obs.SpanSolve, Phase: obs.PhaseEnd,
+		Round: stat.Round, Outcome: obs.OutcomeOK,
+		Objective: res.Objective, Moves: res.Plan.NumMoves(),
+		Seconds: c.cfg.Budget.SolveSeconds})
 	c.exec.SetPlan(res.Plan)
 	if res.Plan.NumMoves() == 0 {
-		c.state = StateIdle
+		c.setState(StateIdle)
 		return
 	}
-	c.state = StateMigrating
+	c.setState(StateMigrating)
 	if err := c.exec.Tick(c.live, now); err != nil {
 		stat.Err = err.Error()
-		c.state = StateIdle
+		c.setState(StateIdle)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"rexchange/internal/cluster"
+	"rexchange/internal/obs"
 	"rexchange/internal/plan"
 	"rexchange/internal/sim"
 	"rexchange/internal/vec"
@@ -104,11 +105,12 @@ func (cfg *ExecConfig) normalize() error {
 
 // moveState tracks one move through the executor.
 type moveState struct {
-	mv       plan.Move
-	status   MoveStatus
-	attempts int     // completed dispatches (successful or failed)
-	readyAt  float64 // earliest redispatch time while retrying
-	finishAt float64 // completion time while in flight
+	mv        plan.Move
+	status    MoveStatus
+	attempts  int     // completed dispatches (successful or failed)
+	readyAt   float64 // earliest redispatch time while retrying
+	finishAt  float64 // completion time while in flight
+	startedAt float64 // dispatch time of the current copy while in flight
 }
 
 // MoveView is the externally visible state of one scheduled move.
@@ -157,6 +159,43 @@ type Executor struct {
 	inflight int
 	pending  int // moves not yet terminal
 	counters ExecCounters
+
+	// Telemetry, attached by the controller (both may be nil). round tags
+	// journal events with the control round that installed the plan;
+	// lastNow is the clock value of the most recent Tick, used to
+	// timestamp aborts (SetPlan carries no clock).
+	m       *ctlMetrics
+	journal *obs.Journal
+	round   int
+	lastNow float64
+}
+
+// AttachObs attaches a metric registry and/or event journal to a
+// standalone executor (plan replay); either may be nil. Executors owned by
+// a Controller are wired through Config.Registry/Journal in New instead —
+// do not call both, the control-plane families register once per registry.
+func (e *Executor) AttachObs(reg *obs.Registry, j *obs.Journal) {
+	if reg != nil {
+		e.m = newCtlMetrics(reg)
+	}
+	e.journal = j
+}
+
+// emitMove journals one move-span event; no-op without a journal. Events
+// carry Clock timestamps only, so a virtual-clock run journals
+// bit-reproducibly.
+func (e *Executor) emitMove(t float64, phase, outcome string, seq int, st *moveState, seconds float64) {
+	if e.journal == nil {
+		return
+	}
+	e.journal.Emit(obs.Event{
+		T: t, Span: obs.SpanMove, Phase: phase, Round: e.round,
+		Outcome: outcome, Seconds: seconds,
+		Move: &obs.MoveEvent{
+			Seq: seq, Shard: int(st.mv.S), From: int(st.mv.From), To: int(st.mv.To),
+			Attempt: st.attempts,
+		},
+	})
 }
 
 // NewExecutor creates an executor for the given cluster with no plan
@@ -189,23 +228,38 @@ func (e *Executor) SetPlan(p *plan.Plan) {
 	e.pending = len(p.Moves)
 }
 
-// abort cancels every non-terminal move and releases reservations.
+// abort cancels every non-terminal move and releases reservations. The
+// retry/schedule state of cancelled moves (attempts, readyAt, finishAt)
+// is cleared: a cancelled move never runs again, and leaving stale
+// timestamps behind would leak bogus scheduling state through MoveStates.
 func (e *Executor) abort() {
 	for i := range e.moves {
 		st := &e.moves[i]
 		switch st.status {
 		case MoveInFlight:
 			e.release(st.mv)
-			st.status = MoveCancelled
 			e.counters.Aborted++
+			if e.m != nil {
+				e.m.aborted.Inc()
+			}
+			e.emitMove(e.lastNow, obs.PhaseEnd, obs.OutcomeAborted, i, st, e.lastNow-st.startedAt)
 		case MovePending, MoveRetrying:
-			st.status = MoveCancelled
 			e.counters.Cancelled++
+			if e.m != nil {
+				e.m.cancelled.Inc()
+			}
+		default:
+			continue
 		}
+		st.status = MoveCancelled
+		st.attempts, st.readyAt, st.finishAt, st.startedAt = 0, 0, 0, 0
 	}
 	e.inflight = 0
 	e.pending = 0
 	clear(e.airborne)
+	if e.m != nil {
+		e.m.inFlight.Set(0)
+	}
 }
 
 // release frees the destination reservation of an in-flight move.
@@ -249,6 +303,7 @@ func (e *Executor) NextEvent(now float64) (at float64, ok bool) {
 // inconsistent with the live placement); the executor aborts the plan
 // before returning such an error.
 func (e *Executor) Tick(live *cluster.Placement, now float64) error {
+	e.lastNow = now
 	if err := e.complete(live, now); err != nil {
 		e.abort()
 		return err
@@ -259,6 +314,9 @@ func (e *Executor) Tick(live *cluster.Placement, now float64) error {
 	}
 	if cluster.DebugAsserts {
 		e.assertTransient(live)
+	}
+	if e.m != nil {
+		e.m.inFlight.Set(float64(e.inflight))
 	}
 	return nil
 }
@@ -286,11 +344,31 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 		e.release(mv)
 		e.inflight--
 		delete(e.airborne, mv.S)
+		copySecs := st.finishAt - st.startedAt
+		if e.m != nil {
+			e.m.copySeconds.Observe(copySecs)
+		}
 		if e.cfg.Failure != nil && e.cfg.Failure(mv, st.attempts) {
 			e.counters.Failures++
+			if e.m != nil {
+				e.m.failures.Inc()
+			}
+			e.emitMove(st.finishAt, obs.PhaseEnd, obs.OutcomeFailed, best, st, copySecs)
 			if st.attempts >= e.cfg.MaxAttempts {
+				// Terminal failure. Mark the move cancelled here — its
+				// reservation is already released above, so the abort()
+				// the caller runs next must not see it as in-flight and
+				// release it a second time (which would leave a negative
+				// reservation that silently loosens later admission).
+				attempts := st.attempts
+				st.status = MoveCancelled
+				st.attempts, st.readyAt, st.finishAt, st.startedAt = 0, 0, 0, 0
+				e.counters.Cancelled++
+				if e.m != nil {
+					e.m.cancelled.Inc()
+				}
 				return fmt.Errorf("ctl: move %d (shard %d → machine %d) failed %d times; abandoning plan",
-					best, mv.S, mv.To, st.attempts)
+					best, mv.S, mv.To, attempts)
 			}
 			st.status = MoveRetrying
 			st.readyAt = st.finishAt + e.backoff(st.attempts)
@@ -303,6 +381,10 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 		st.status = MoveDone
 		e.pending--
 		e.counters.Completed++
+		if e.m != nil {
+			e.m.completed.Inc()
+		}
+		e.emitMove(st.finishAt, obs.PhaseEnd, obs.OutcomeOK, best, st, copySecs)
 	}
 }
 
@@ -337,6 +419,9 @@ func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
 				i, mv.S, mv.From, live.Home(mv.S))
 		}
 		if !e.canAdmit(live, mv.S, mv.To) {
+			if e.m != nil {
+				e.m.admissionBlocked.Inc()
+			}
 			if e.inflight == 0 {
 				// Nothing in flight will ever free space: the plan is not
 				// serially feasible against the live placement.
@@ -345,11 +430,13 @@ func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
 			}
 			return nil // head-of-line blocks until a completion frees space
 		}
+		retry := st.status == MoveRetrying
 		size := e.c.Shards[mv.S].Static[vec.Disk]
 		e.reserved[mv.To] = e.reserved[mv.To].Add(e.c.Shards[mv.S].Static)
 		e.airborne[mv.S] = true
 		st.status = MoveInFlight
 		st.attempts++
+		st.startedAt = now
 		st.finishAt = now + size/e.cfg.Migration.Bandwidth
 		e.inflight++
 		e.counters.Dispatched++
@@ -357,6 +444,14 @@ func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
 		if e.inflight > e.counters.PeakParallel {
 			e.counters.PeakParallel = e.inflight
 		}
+		if e.m != nil {
+			e.m.dispatched.Inc()
+			e.m.bytesMoved.Add(size)
+			if retry {
+				e.m.retries.Inc()
+			}
+		}
+		e.emitMove(now, obs.PhaseBegin, "", i, st, 0)
 	}
 	return nil
 }

@@ -4,21 +4,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"rexchange/internal/metrics"
 )
 
 // Handler returns the controller's HTTP surface on a fresh ServeMux:
 //
-//	/status     controller state machine, round history tail, executor counters
-//	/placement  live placement (cluster + assignment) as JSON
-//	/plan       current move schedule with per-move state
-//	/metrics    Prometheus text exposition (balance report + controller counters)
+//	/status        controller state machine, round history tail, executor counters
+//	/placement     live placement (cluster + assignment) as JSON
+//	/plan          current move schedule with per-move state
+//	/metrics       Prometheus text exposition (balance report + control-plane counters)
+//	/debug/pprof/  standard net/http/pprof profiling surface
+//
+// With Config.Registry set, /metrics renders the shared registry — every
+// family the control plane, executor, solver, and balance collector
+// registered. Without one it falls back to synthesizing gauges from
+// Status snapshots (the pre-registry exposition).
 //
 // All endpoints are read-only snapshots taken under the controller lock;
 // serving them concurrently with Run is race-free on any clock.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, c.Status())
 	})
@@ -35,6 +47,10 @@ func (c *Controller) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if c.cfg.Registry != nil {
+			_ = c.cfg.Registry.WritePrometheus(w) // write error = client went away
+			return
+		}
 		st := c.Status()
 		if err := metrics.WritePrometheus(w, c.Report()); err != nil {
 			return // client went away; nothing useful to do

@@ -1,0 +1,87 @@
+package ctl
+
+import (
+	"rexchange/internal/obs"
+)
+
+// ctlMetrics bundles every control-plane metric handle registered on the
+// shared registry. The controller and executor hold a possibly-nil
+// pointer; every instrumentation site guards on it, so running without a
+// registry costs one nil check per event (the control plane is not a hot
+// path — events happen per move, not per solver iteration).
+type ctlMetrics struct {
+	// Controller round/solve lifecycle.
+	rounds        *obs.Counter
+	solves        *obs.Counter
+	supersessions *obs.Counter
+	plannedMoves  *obs.Counter
+	execErrors    *obs.Counter
+	state         *obs.Gauge
+	campaign      *obs.Gauge
+	lastPlanMoves *obs.Gauge
+	solveSeconds  *obs.Histogram
+
+	// Executor migration lifecycle.
+	dispatched       *obs.Counter
+	retries          *obs.Counter
+	completed        *obs.Counter
+	failures         *obs.Counter
+	aborted          *obs.Counter
+	cancelled        *obs.Counter
+	admissionBlocked *obs.Counter
+	bytesMoved       *obs.Counter
+	inFlight         *obs.Gauge
+	copySeconds      *obs.Histogram
+}
+
+// newCtlMetrics registers the control-plane families on reg.
+func newCtlMetrics(reg *obs.Registry) *ctlMetrics {
+	return &ctlMetrics{
+		rounds: reg.Counter("rex_ctl_rounds_total",
+			"Control rounds completed."),
+		solves: reg.Counter("rex_ctl_solves_total",
+			"Solve rounds triggered."),
+		supersessions: reg.Counter("rex_ctl_supersessions_total",
+			"Solves that superseded a still-draining plan."),
+		plannedMoves: reg.Counter("rex_ctl_planned_moves_total",
+			"Moves across every installed plan."),
+		execErrors: reg.Counter("rex_ctl_exec_errors_total",
+			"Executor plan failures recorded in the round history."),
+		state: reg.Gauge("rex_ctl_state",
+			"Controller state (0=idle, 1=solving, 2=migrating)."),
+		campaign: reg.Gauge("rex_ctl_campaign",
+			"Whether a rebalancing campaign is active."),
+		lastPlanMoves: reg.Gauge("rex_ctl_last_plan_moves",
+			"Moves in the most recently installed plan."),
+		solveSeconds: reg.Histogram("rex_ctl_solve_seconds",
+			"Wall-clock duration of one budgeted solve round.", obs.TimeBuckets()),
+
+		dispatched: reg.Counter("rex_exec_dispatched_total",
+			"Copy attempts started by the executor (redispatches included)."),
+		retries: reg.Counter("rex_exec_retries_total",
+			"Redispatches of moves whose earlier copy failed."),
+		completed: reg.Counter("rex_exec_completed_total",
+			"Moves committed to the live placement."),
+		failures: reg.Counter("rex_exec_failures_total",
+			"Copy attempts that finished in failure."),
+		aborted: reg.Counter("rex_moves_aborted_total",
+			"In-flight copies abandoned because a newer plan superseded them."),
+		cancelled: reg.Counter("rex_exec_cancelled_total",
+			"Pending or retrying moves cancelled by plan supersession."),
+		admissionBlocked: reg.Counter("rex_exec_admission_blocked_total",
+			"Dispatch attempts deferred by the transient admission check."),
+		bytesMoved: reg.Counter("rex_exec_bytes_moved_total",
+			"Disk units copied by dispatched moves."),
+		inFlight: reg.Gauge("rex_exec_in_flight",
+			"Moves currently in flight."),
+		copySeconds: reg.Histogram("rex_exec_copy_seconds",
+			"Duration of individual shard copies, successful or failed.", obs.TimeBuckets()),
+	}
+}
+
+// stateGauge mirrors a state change onto rex_ctl_state; nil-safe.
+func (m *ctlMetrics) stateGauge(s State) {
+	if m != nil {
+		m.state.Set(float64(s))
+	}
+}

@@ -12,6 +12,8 @@ import "strings"
 //   - floateq guards objective/metrics/aggregate code, where quantities are
 //     computed incrementally and exact comparison is a latent bug.
 //   - errignore guards every internal package.
+//   - metricname guards the whole module: any package may register metrics
+//     on an obs.Registry and the exposition contract is global.
 //
 // The scope lives here, in the driver policy, rather than inside the
 // analyzers, so the test harness can exercise each analyzer on fixtures
@@ -47,5 +49,10 @@ func Analyzers(modPath string) []*Analyzer {
 	errIgnore := *ErrIgnore
 	errIgnore.AppliesTo = inModule("/internal")
 
-	return []*Analyzer{&noGlobalRand, &mapOrder, &floatEq, &errIgnore}
+	metricName := *MetricName
+	metricName.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
+	return []*Analyzer{&noGlobalRand, &mapOrder, &floatEq, &errIgnore, &metricName}
 }

@@ -18,6 +18,7 @@ func TestAnalyzers(t *testing.T) {
 		{lint.MapOrder, "maporder"},
 		{lint.FloatEq, "floateq"},
 		{lint.ErrIgnore, "errignore"},
+		{lint.MetricName, "metricname"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -49,6 +50,8 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"floateq", "rexchange/internal/lint", false},
 		{"errignore", "rexchange/internal/plan", true},
 		{"errignore", "rexchange/cmd/rexbench", false},
+		{"metricname", "rexchange/internal/ctl", true},
+		{"metricname", "rexchange/cmd/rexd", true},
 	}
 	for _, tc := range cases {
 		a, ok := byName[tc.analyzer]

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName enforces the exposition naming contract at registration sites:
+// every metric registered on an internal/obs Registry (Counter, Gauge,
+// Histogram, CounterVec, GaugeVec) must pass a string literal matching
+// rex_<snake_case> as its name. The registry validates names at runtime
+// and panics on garbage, but only on the first scrape of a rarely-taken
+// code path; a literal checked statically fails in CI instead of in a
+// dashboard. Constant-expression names are fine; names computed at runtime
+// (fmt.Sprintf, variables) defeat both checks and are reported too —
+// encode variability in label values, not metric names.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names must be rex_-prefixed snake_case string literals at obs registration sites",
+	Run:  runMetricName,
+}
+
+// metricNameRe is the exposition contract: rex_ prefix, lowercase
+// snake_case segments, no leading/trailing/doubled underscores.
+var metricNameRe = regexp.MustCompile(`^rex_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// registryMethods are the Registry registration entry points whose first
+// argument is the metric name.
+var registryMethods = map[string]bool{
+	"Counter":    true,
+	"Gauge":      true,
+	"Histogram":  true,
+	"CounterVec": true,
+	"GaugeVec":   true,
+}
+
+func runMetricName(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isObsRegistry(pass.TypesInfo, sel) {
+				return true
+			}
+			arg := call.Args[0]
+			name, lit := stringConst(pass.TypesInfo, arg)
+			if !lit {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to Registry.%s must be a string literal (got a runtime value); encode variability in label values",
+					sel.Sel.Name)
+				return true
+			}
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"metric name %q must match %s (rex_-prefixed snake_case)",
+					name, metricNameRe)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistry reports whether sel selects a method on *obs.Registry from
+// this module's internal/obs package.
+func isObsRegistry(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// stringConst evaluates arg as a compile-time string constant (literal or
+// constant expression).
+func stringConst(info *types.Info, arg ast.Expr) (string, bool) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,42 @@
+// Fixture for the metricname analyzer: metric names registered on an
+// internal/obs Registry must be rex_-prefixed snake_case string literals.
+package metricname
+
+import (
+	"fmt"
+
+	"rexchange/internal/obs"
+)
+
+const goodConst = "rex_from_const_total"
+
+func register(reg *obs.Registry, shard int) {
+	// Literal rex_ snake_case names are fine, across every entry point.
+	reg.Counter("rex_good_total", "ok")
+	reg.Gauge("rex_in_flight", "ok")
+	reg.Histogram("rex_copy_seconds", "ok", obs.TimeBuckets())
+	reg.CounterVec("rex_iterations_total", "ok", "outcome")
+	reg.GaugeVec("rex_pressure", "ok", "resource")
+	reg.Counter(goodConst, "constant expressions are literals too")
+
+	reg.Counter("moves_total", "no prefix")           // want `metric name "moves_total" must match`
+	reg.Gauge("rex_InFlight", "camel case")           // want `metric name "rex_InFlight" must match`
+	reg.Counter("rex__double_total", "doubled _")     // want `metric name "rex__double_total" must match`
+	reg.Counter("rex_trailing_", "trailing _")        // want `metric name "rex_trailing_" must match`
+	reg.CounterVec("rex-dashed", "dashes", "outcome") // want `metric name "rex-dashed" must match`
+
+	// Runtime-computed names defeat static and CI checks alike.
+	reg.Counter(fmt.Sprintf("rex_shard_%d_total", shard), "dynamic") // want `must be a string literal`
+	name := "rex_runtime_total"
+	name += ""
+	reg.Gauge(name, "variable") // want `must be a string literal`
+}
+
+// Unrelated methods named like registration entry points stay quiet.
+type fake struct{}
+
+func (fake) Counter(name, help string) {}
+
+func other() {
+	fake{}.Counter("whatever", "not a registry")
+}

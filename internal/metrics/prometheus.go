@@ -1,55 +1,89 @@
 package metrics
 
 import (
-	"fmt"
 	"io"
-	"strconv"
 
+	"rexchange/internal/obs"
 	"rexchange/internal/vec"
 )
 
-// promGauge is one exposed gauge: name, help text, and the value extractor.
-var promGauges = []struct {
-	name string
-	help string
-	val  func(r Report) float64
-}{
-	{"rex_machines", "Number of serving (non-vacant) machines.", func(r Report) float64 { return float64(r.Machines) }},
-	{"rex_vacant_machines", "Number of machines hosting no shards.", func(r Report) float64 { return float64(r.Vacant) }},
-	{"rex_max_util", "Highest load/speed among serving machines.", func(r Report) float64 { return r.MaxUtil }},
-	{"rex_min_util", "Lowest load/speed among serving machines.", func(r Report) float64 { return r.MinUtil }},
-	{"rex_mean_util", "Capacity-weighted ideal utilization.", func(r Report) float64 { return r.MeanUtil }},
-	{"rex_imbalance", "MaxUtil/MeanUtil; 1.0 is perfect balance.", func(r Report) float64 { return r.Imbalance }},
-	{"rex_util_stddev", "Standard deviation of per-machine utilization.", func(r Report) float64 { return r.StdDev }},
-	{"rex_util_cv", "Coefficient of variation of per-machine utilization.", func(r Report) float64 { return r.CV }},
-	{"rex_util_gini", "Gini coefficient of per-machine utilization.", func(r Report) float64 { return r.Gini }},
+// Collector publishes balance Reports as gauge families on an obs.Registry.
+// Register once, then call Set after every recomputation; the registry's
+// renderer (obs.Registry.WritePrometheus) takes care of the exposition
+// format. The rex_serving indicator lets dashboards distinguish an empty
+// cluster (every utilization gauge pinned to 0) from a perfectly balanced
+// one: a zero-serving placement scrapes as 0s, never as NaN.
+type Collector struct {
+	machines  *obs.Gauge
+	vacant    *obs.Gauge
+	serving   *obs.Gauge
+	maxUtil   *obs.Gauge
+	minUtil   *obs.Gauge
+	meanUtil  *obs.Gauge
+	imbalance *obs.Gauge
+	stddev    *obs.Gauge
+	cv        *obs.Gauge
+	gini      *obs.Gauge
+	pressure  *obs.GaugeVec
+}
+
+// NewCollector registers the balance-report families on reg.
+func NewCollector(reg *obs.Registry) *Collector {
+	return &Collector{
+		machines:  reg.Gauge("rex_machines", "Number of serving (non-vacant) machines."),
+		vacant:    reg.Gauge("rex_vacant_machines", "Number of machines hosting no shards."),
+		serving:   reg.Gauge("rex_serving", "1 when at least one machine serves shards; utilization gauges are meaningful only then."),
+		maxUtil:   reg.Gauge("rex_max_util", "Highest load/speed among serving machines."),
+		minUtil:   reg.Gauge("rex_min_util", "Lowest load/speed among serving machines."),
+		meanUtil:  reg.Gauge("rex_mean_util", "Capacity-weighted ideal utilization."),
+		imbalance: reg.Gauge("rex_imbalance", "MaxUtil/MeanUtil; 1.0 is perfect balance."),
+		stddev:    reg.Gauge("rex_util_stddev", "Standard deviation of per-machine utilization."),
+		cv:        reg.Gauge("rex_util_cv", "Coefficient of variation of per-machine utilization."),
+		gini:      reg.Gauge("rex_util_gini", "Gini coefficient of per-machine utilization."),
+		pressure:  reg.GaugeVec("rex_static_pressure", "Max used/capacity over machines, per static resource.", "resource"),
+	}
+}
+
+// Set republishes r onto the registered gauges. Safe for concurrent use
+// with renders; each gauge updates atomically.
+func (c *Collector) Set(r Report) {
+	c.machines.Set(float64(r.Machines))
+	c.vacant.Set(float64(r.Vacant))
+	if r.Machines > 0 {
+		c.serving.Set(1)
+	} else {
+		// Compute already zeroes every statistic for an empty placement;
+		// Set again anyway so a collector reused across snapshots can
+		// never hold stale (or NaN) utilization values for a drained
+		// cluster.
+		c.serving.Set(0)
+	}
+	c.maxUtil.Set(r.MaxUtil)
+	c.minUtil.Set(r.MinUtil)
+	c.meanUtil.Set(r.MeanUtil)
+	c.imbalance.Set(r.Imbalance)
+	c.stddev.Set(r.StdDev)
+	c.cv.Set(r.CV)
+	c.gini.Set(r.Gini)
+	for res := 0; res < vec.NumResources; res++ {
+		c.pressure.With(vec.Resource(res).String()).Set(r.StaticPressure[res])
+	}
 }
 
 // WritePrometheus emits the report in the Prometheus text exposition format
 // (version 0.0.4): every Report field as a #-annotated gauge, with the
-// per-resource static pressure as one labelled family. It backs rexd's
-// /metrics endpoint and works with any scraper.
+// per-resource static pressure as one labelled family. It is a one-shot
+// renderer over a throwaway registry — long-lived servers should register a
+// Collector on their shared registry instead so balance gauges interleave
+// with the control-plane families.
 func WritePrometheus(w io.Writer, r Report) error {
-	for _, g := range promGauges {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-			g.name, g.help, g.name, g.name, promFloat(g.val(r))); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "# HELP rex_static_pressure Max used/capacity over machines, per static resource.\n# TYPE rex_static_pressure gauge\n"); err != nil {
-		return err
-	}
-	for res := 0; res < vec.NumResources; res++ {
-		if _, err := fmt.Fprintf(w, "rex_static_pressure{resource=%q} %s\n",
-			vec.Resource(res).String(), promFloat(r.StaticPressure[res])); err != nil {
-			return err
-		}
-	}
-	return nil
+	reg := obs.NewRegistry()
+	NewCollector(reg).Set(r)
+	return reg.WritePrometheus(w)
 }
 
 // promFloat renders a float the way Prometheus expects (shortest
-// round-trip representation; integers without exponent).
+// round-trip representation; NaN/+Inf/-Inf in their canonical spellings).
 func promFloat(x float64) string {
-	return strconv.FormatFloat(x, 'g', -1, 64)
+	return obs.FormatFloat(x)
 }

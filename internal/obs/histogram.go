@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram: cumulative bucket counts, a sum,
+// and a total count, all updated atomically. Bucket bounds are fixed at
+// registration; the +Inf bucket is implicit. Observe is lock-free and
+// allocation-free — a linear scan over the (typically ≤ 20) bounds is
+// cheaper than a branch-mispredicted binary search at these sizes.
+type Histogram struct {
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // per-bucket (non-cumulative) observation counts
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// newHistogram builds a histogram over validated bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// checkBuckets validates bucket upper bounds at registration time.
+func checkBuckets(name string, bounds []float64) []float64 {
+	out := append([]float64(nil), bounds...)
+	for i, b := range out {
+		if math.IsNaN(b) {
+			panic(fmt.Sprintf("obs: histogram %s has NaN bucket bound", name))
+		}
+		if i > 0 && b <= out[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bucket bounds not strictly increasing at %g", name, b))
+		}
+	}
+	// A trailing +Inf is implicit; drop an explicit one.
+	if n := len(out); n > 0 && math.IsInf(out[n-1], +1) {
+		out = out[:n-1]
+	}
+	return out
+}
+
+// Observe records one value. The total count is incremented before the
+// bucket so a concurrent render (which reads buckets first, count last)
+// never sees a finite cumulative bucket exceed the +Inf bucket.
+func (h *Histogram) Observe(v float64) {
+	h.sum.Add(v)
+	h.count.Add(1)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// write renders the histogram exposition: cumulative _bucket series with
+// le labels (ending in +Inf), then _sum and _count.
+func (h *Histogram) write(w io.Writer, name string, labels, vals []string) error {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeSample(w, name, labels, vals, "_bucket", FormatFloat(b), float64(cum)); err != nil {
+			return err
+		}
+	}
+	total := h.count.Load()
+	if err := writeSample(w, name, labels, vals, "_bucket", "+Inf", float64(total)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name, labels, vals, "_sum", "", h.sum.Load()); err != nil {
+		return err
+	}
+	return writeSample(w, name, labels, vals, "_count", "", float64(total))
+}
+
+// TimeBuckets returns the default bucket bounds for durations in seconds,
+// spanning sub-millisecond copies on the virtual clock up to multi-minute
+// wall-clock migrations.
+func TimeBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+}
+
+// SizeBuckets returns exponential bucket bounds for plan sizes and other
+// small counts.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+}

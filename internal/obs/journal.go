@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Span kinds recorded in the event journal.
+const (
+	SpanRound = "round" // one control round (snapshot → decision)
+	SpanSolve = "solve" // one budgeted SRA solve
+	SpanMove  = "move"  // one shard copy, dispatch → land
+)
+
+// Span phases.
+const (
+	PhaseBegin = "begin"
+	PhaseEnd   = "end"
+)
+
+// Move span outcomes (round and solve spans use "ok"/"err"-style outcomes
+// set by the controller).
+const (
+	OutcomeOK      = "ok"
+	OutcomeErr     = "err"
+	OutcomeFailed  = "failed"  // copy failed; the move will retry
+	OutcomeAborted = "aborted" // in-flight copy abandoned by supersession
+)
+
+// MoveEvent identifies one scheduled move inside a move span. Machine and
+// shard IDs are plain ints so a journal is self-contained JSON.
+type MoveEvent struct {
+	Seq     int `json:"seq"`
+	Shard   int `json:"shard"`
+	From    int `json:"from"`
+	To      int `json:"to"`
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// Event is one JSONL journal record. Timestamps come from the control
+// plane's Clock, so a virtual-clock run journals in simulated seconds and
+// is bit-reproducible: for a fixed configuration the byte stream is
+// identical across runs and GOMAXPROCS values.
+type Event struct {
+	T     float64 `json:"t"`
+	Span  string  `json:"span"`
+	Phase string  `json:"phase"`
+	Round int     `json:"round"`
+
+	Outcome string `json:"outcome,omitempty"`
+	Err     string `json:"err,omitempty"`
+
+	// Round/solve payloads.
+	Imbalance float64 `json:"imbalance,omitempty"`
+	Objective float64 `json:"objective,omitempty"`
+	Moves     int     `json:"moves,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
+
+	// Move payload.
+	Move *MoveEvent `json:"move,omitempty"`
+}
+
+// Journal writes events as JSON Lines. Emit is safe for concurrent use;
+// write errors are sticky and surfaced by Err/Close rather than per
+// event, so instrumented code paths never branch on telemetry failures.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	n   int
+	err error
+}
+
+// NewJournal wraps w. The caller owns closing any underlying file; Close
+// on the journal only flushes the sticky error state.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Emit appends one event. The first write error is retained and all
+// subsequent emits become no-ops.
+func (j *Journal) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		j.err = fmt.Errorf("obs: marshal event: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		j.err = fmt.Errorf("obs: write event: %w", err)
+		return
+	}
+	j.n++
+}
+
+// Len returns the number of events successfully written.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJournal parses a JSONL event stream. It fails on the first
+// malformed line, reporting its line number.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		if ev.Span == "" || ev.Phase == "" {
+			return nil, fmt.Errorf("obs: journal line %d: missing span/phase", line)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read journal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJournalPinnedSchema pins the JSONL encoding of each span kind: the
+// journal is a wire format consumed by rexwatch and external tooling, so
+// field names and omission rules must not drift.
+func TestJournalPinnedSchema(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	j.Emit(Event{T: 10, Span: SpanRound, Phase: PhaseBegin, Round: 2, Imbalance: 1.5})
+	j.Emit(Event{T: 10, Span: SpanSolve, Phase: PhaseEnd, Round: 2, Outcome: OutcomeOK,
+		Objective: 1.125, Moves: 7, Seconds: 0.5})
+	j.Emit(Event{T: 11, Span: SpanMove, Phase: PhaseBegin, Round: 2,
+		Move: &MoveEvent{Seq: 0, Shard: 3, From: 0, To: 4, Attempt: 1}})
+	j.Emit(Event{T: 12.5, Span: SpanMove, Phase: PhaseEnd, Round: 2, Outcome: OutcomeAborted,
+		Seconds: 1.5, Move: &MoveEvent{Seq: 0, Shard: 3, From: 0, To: 4, Attempt: 1}})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":10,"span":"round","phase":"begin","round":2,"imbalance":1.5}
+{"t":10,"span":"solve","phase":"end","round":2,"outcome":"ok","objective":1.125,"moves":7,"seconds":0.5}
+{"t":11,"span":"move","phase":"begin","round":2,"move":{"seq":0,"shard":3,"from":0,"to":4,"attempt":1}}
+{"t":12.5,"span":"move","phase":"end","round":2,"outcome":"aborted","seconds":1.5,"move":{"seq":0,"shard":3,"from":0,"to":4,"attempt":1}}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("journal schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+}
+
+// TestJournalRoundtrip writes events and reads them back.
+func TestJournalRoundtrip(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	evs := []Event{
+		{T: 1, Span: SpanRound, Phase: PhaseBegin, Round: 0},
+		{T: 2, Span: SpanRound, Phase: PhaseEnd, Round: 0, Outcome: OutcomeOK, Imbalance: 1.2},
+		{T: 2, Span: SpanMove, Phase: PhaseBegin, Round: 0, Move: &MoveEvent{Seq: 1, Shard: 9, From: 2, To: 0}},
+	}
+	for _, ev := range evs {
+		j.Emit(ev)
+	}
+	got, err := ReadJournal(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("read %d events, want %d", len(got), len(evs))
+	}
+	if got[2].Move == nil || got[2].Move.Shard != 9 || got[2].Move.To != 0 {
+		t.Fatalf("move payload corrupted: %+v", got[2].Move)
+	}
+	if got[1].Imbalance != 1.2 || got[1].Outcome != OutcomeOK {
+		t.Fatalf("round payload corrupted: %+v", got[1])
+	}
+}
+
+// TestReadJournalRejectsMalformed checks error reporting with line
+// numbers.
+func TestReadJournalRejectsMalformed(t *testing.T) {
+	_, err := ReadJournal(strings.NewReader("{\"t\":1,\"span\":\"round\",\"phase\":\"begin\",\"round\":0}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 parse failure", err)
+	}
+	_, err = ReadJournal(strings.NewReader("{\"t\":1}\n"))
+	if err == nil || !strings.Contains(err.Error(), "missing span/phase") {
+		t.Fatalf("err = %v, want missing span/phase", err)
+	}
+}
+
+// TestJournalStickyError checks that a failing writer disables the
+// journal rather than surfacing per-event errors.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, strings.NewReader("").UnreadByte() // any non-nil error
+}
+
+func TestJournalStickyError(t *testing.T) {
+	fw := &failWriter{}
+	j := NewJournal(fw)
+	j.Emit(Event{T: 1, Span: SpanRound, Phase: PhaseBegin})
+	j.Emit(Event{T: 2, Span: SpanRound, Phase: PhaseEnd})
+	if j.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	if fw.n != 1 {
+		t.Fatalf("writer called %d times, want 1 (sticky short-circuit)", fw.n)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", j.Len())
+	}
+}

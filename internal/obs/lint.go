@@ -1,0 +1,445 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one parsed label pair of a sample line.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// lintFamily accumulates what the validator saw for one family name.
+type lintFamily struct {
+	help, typ   string
+	samples     []Sample
+	sampleAfter bool // a sample appeared before HELP/TYPE
+}
+
+// LintExposition validates Prometheus text exposition the way promlint
+// would: every sample must belong to a family announced by # HELP and
+// # TYPE lines, names and label syntax must be well-formed, counter
+// families must end in _total, and histogram families must expose
+// well-formed _bucket/_sum/_count series with a +Inf bucket and
+// non-decreasing cumulative counts. Each required name must appear as a
+// family with at least one sample. The returned problems are
+// human-readable, one per defect; an empty slice means the exposition is
+// clean.
+func LintExposition(r io.Reader, required ...string) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	fams := make(map[string]*lintFamily)
+	var order []string
+	fam := func(name string) *lintFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &lintFamily{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment, ignored by parsers
+			}
+			if !validMetricName(name) {
+				addf("line %d: invalid metric name %q in %s line", lineNo, name, kind)
+				continue
+			}
+			f := fam(name)
+			switch kind {
+			case "HELP":
+				if f.help != "" {
+					addf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if rest == "" {
+					addf("line %d: empty HELP text for %s", lineNo, name)
+					rest = " "
+				}
+				f.help = rest
+			case "TYPE":
+				if f.typ != "" {
+					addf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+				if len(f.samples) > 0 {
+					addf("line %d: TYPE for %s appears after its samples", lineNo, name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		base := s.Name
+		// Histogram child series attach to their base family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(s.Name, suffix)
+			if trimmed != s.Name {
+				if f, ok := fams[trimmed]; ok && f.typ == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f := fam(base)
+		if f.help == "" || f.typ == "" {
+			f.sampleAfter = true
+		}
+		f.samples = append(f.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		addf("read: %v", err)
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.help == "" {
+			addf("family %s: missing HELP", name)
+		}
+		if f.typ == "" {
+			addf("family %s: missing TYPE", name)
+		}
+		if f.sampleAfter {
+			addf("family %s: sample precedes its HELP/TYPE header", name)
+		}
+		if len(f.samples) == 0 {
+			addf("family %s: declared but has no samples", name)
+		}
+		if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+			addf("family %s: counter name should end in _total", name)
+		}
+		if f.typ == "counter" {
+			for _, s := range f.samples {
+				if s.Value < 0 {
+					addf("family %s: counter sample is negative (%g)", name, s.Value)
+				}
+			}
+		}
+		if f.typ == "histogram" {
+			problems = append(problems, lintHistogram(name, f.samples)...)
+		}
+		seen := make(map[string]bool, len(f.samples))
+		for _, s := range f.samples {
+			key := s.Name + "\xff" + labelKey(s.Labels)
+			if seen[key] {
+				addf("family %s: duplicate series %s{%s}", name, s.Name, labelKey(s.Labels))
+			}
+			seen[key] = true
+		}
+	}
+
+	for _, name := range required {
+		f, ok := fams[name]
+		if !ok || len(f.samples) == 0 {
+			addf("required family %s is missing", name)
+		}
+	}
+	return problems
+}
+
+// lintHistogram validates one histogram family's child series, per label
+// set: a +Inf bucket, cumulative non-decreasing bucket counts, and _count
+// matching the +Inf bucket.
+func lintHistogram(name string, samples []Sample) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	type group struct {
+		buckets  []Sample
+		sum      *Sample
+		count    *Sample
+		order    []float64 // le bound per bucket, in input order
+		haveInf  bool
+		infCount float64
+	}
+	groups := make(map[string]*group)
+	var gorder []string
+	for i := range samples {
+		s := samples[i]
+		var le string
+		var rest []Label
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				le = l.Value
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		key := labelKey(rest)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			gorder = append(gorder, key)
+		}
+		switch s.Name {
+		case name + "_bucket":
+			if le == "" {
+				addf("histogram %s: _bucket sample without le label", name)
+				continue
+			}
+			bound, err := parseFloatValue(le)
+			if err != nil {
+				addf("histogram %s: bad le value %q", name, le)
+				continue
+			}
+			if math.IsInf(bound, +1) {
+				g.haveInf = true
+				g.infCount = s.Value
+			}
+			g.buckets = append(g.buckets, s)
+			g.order = append(g.order, bound)
+		case name + "_sum":
+			g.sum = &samples[i]
+		case name + "_count":
+			g.count = &samples[i]
+		default:
+			addf("histogram %s: unexpected series %s", name, s.Name)
+		}
+	}
+	for _, key := range gorder {
+		g := groups[key]
+		where := name
+		if key != "" {
+			where = fmt.Sprintf("%s{%s}", name, key)
+		}
+		if !g.haveInf {
+			addf("histogram %s: missing le=\"+Inf\" bucket", where)
+		}
+		if g.sum == nil {
+			addf("histogram %s: missing _sum", where)
+		}
+		if g.count == nil {
+			addf("histogram %s: missing _count", where)
+		} else if g.haveInf && g.count.Value != g.infCount {
+			addf("histogram %s: _count %g disagrees with +Inf bucket %g", where, g.count.Value, g.infCount)
+		}
+		if !sort.Float64sAreSorted(g.order) {
+			addf("histogram %s: le bounds out of order", where)
+		}
+		for i := 1; i < len(g.buckets); i++ {
+			if g.buckets[i].Value < g.buckets[i-1].Value {
+				addf("histogram %s: cumulative bucket counts decrease at le=%g", where, g.order[i])
+			}
+		}
+	}
+	return problems
+}
+
+// labelKey renders labels canonically (sorted) for grouping.
+func labelKey(labels []Label) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// parseComment splits a # HELP/# TYPE line; ok=false for other comments.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	for _, k := range []string{"HELP", "TYPE"} {
+		if r, found := strings.CutPrefix(body, k+" "); found {
+			fields := strings.SplitN(r, " ", 2)
+			name = fields[0]
+			if len(fields) == 2 {
+				rest = strings.TrimSpace(fields[1])
+			}
+			return k, name, rest, true
+		}
+	}
+	return "", "", "", false
+}
+
+// parseSample parses one exposition sample line:
+// name{label="value",...} value [timestamp]
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q: no metric name", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		s.Labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s: expected value [timestamp], got %q", s.Name, rest)
+	}
+	v, err := parseFloatValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes label pairs after the opening brace, returning the
+// remainder after the closing brace.
+func parseLabels(rest string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		i := 0
+		for i < len(rest) && isLabelChar(rest[i], i == 0) {
+			i++
+		}
+		if i == 0 {
+			return nil, rest, fmt.Errorf("malformed label name at %q", rest)
+		}
+		name := rest[:i]
+		if !validLabelName(name) {
+			return nil, rest, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[i:]
+		if !strings.HasPrefix(rest, "=") {
+			return nil, rest, fmt.Errorf("label %s: missing =", name)
+		}
+		rest = rest[1:]
+		val, r, err := parseQuoted(rest)
+		if err != nil {
+			return nil, rest, fmt.Errorf("label %s: %w", name, err)
+		}
+		rest = r
+		labels = append(labels, Label{Name: name, Value: val})
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		return nil, rest, fmt.Errorf("label %s: expected , or } at %q", name, rest)
+	}
+}
+
+// parseQuoted parses a double-quoted label value with \\, \", and \n
+// escapes.
+func parseQuoted(rest string) (string, string, error) {
+	if !strings.HasPrefix(rest, `"`) {
+		return "", rest, fmt.Errorf("expected quoted value at %q", rest)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(rest) {
+		c := rest[i]
+		switch c {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			if i+1 >= len(rest) {
+				return "", rest, fmt.Errorf("dangling escape")
+			}
+			switch rest[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", rest, fmt.Errorf("unknown escape \\%c", rest[i+1])
+			}
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", rest, fmt.Errorf("unterminated quoted value")
+}
+
+// parseFloatValue parses a sample value, accepting the Prometheus
+// spellings of the special values.
+func parseFloatValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// isNameChar reports whether c may appear in a metric name.
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// isLabelChar reports whether c may appear in a label name.
+func isLabelChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

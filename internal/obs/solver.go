@@ -1,0 +1,45 @@
+package obs
+
+// SolverRecorder implements core.Recorder on top of a Registry: one
+// counter per (destroy operator, repair operator, outcome) triple, run
+// totals, and an iteration-throughput gauge. The outcome label values
+// ("repair_failed", "rejected", "accepted", "improved", "new_best") are
+// defined by the core LNS loop, which batches counts locally and flushes
+// once per run, so no per-iteration call crosses the package boundary.
+// Safe for concurrent use by parallel restarts.
+type SolverRecorder struct {
+	iters      *CounterVec
+	runs       *Counter
+	runSeconds *Histogram
+	rate       *Gauge
+}
+
+// NewSolverRecorder registers the solver metric families on reg.
+func NewSolverRecorder(reg *Registry) *SolverRecorder {
+	return &SolverRecorder{
+		iters: reg.CounterVec("rex_solver_iterations_total",
+			"LNS iterations by destroy operator, repair operator, and outcome.",
+			"destroy", "repair", "outcome"),
+		runs: reg.Counter("rex_solver_runs_total",
+			"Completed SRA runs (each parallel restart counts once)."),
+		runSeconds: reg.Histogram("rex_solver_run_seconds",
+			"Wall-clock duration of one SRA run.", TimeBuckets()),
+		rate: reg.Gauge("rex_solver_iterations_per_second",
+			"Iteration throughput of the most recently completed run."),
+	}
+}
+
+// RecordIterations counts n LNS iterations that hit one (destroy, repair,
+// outcome) combination. Called at most once per combination per run.
+func (s *SolverRecorder) RecordIterations(destroyOp, repairOp, outcome string, n int) {
+	s.iters.With(destroyOp, repairOp, outcome).Add(float64(n))
+}
+
+// RecordRun records one completed run's totals and throughput.
+func (s *SolverRecorder) RecordRun(iterations, accepted, repairFailures int, seconds float64) {
+	s.runs.Inc()
+	s.runSeconds.Observe(seconds)
+	if seconds > 0 {
+		s.rate.Set(float64(iterations) / seconds)
+	}
+}
