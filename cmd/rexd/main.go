@@ -226,7 +226,7 @@ func openJournal(path string) (*obs.Journal, func() error, error) {
 // renders the final exposition to -metrics-out.
 func finishObs(reg *obs.Registry, journal *obs.Journal, closeJournal func() error, eventsPath, metricsOut string) error {
 	if journal != nil {
-		if err := journal.Err(); err != nil {
+		if err := journal.Close(); err != nil {
 			return err
 		}
 		if err := closeJournal(); err != nil {

@@ -7,12 +7,21 @@
 //	noglobalrand  global math/rand use (breaks seed reproducibility)
 //	maporder      order-dependent slices built from map iteration
 //	floateq       exact float ==/!= in objective/metrics code
-//	errignore     silently dropped error returns in internal packages
+//	errignore     dropped error returns, incl. sticky Close/Err/Flush results
+//	metricname    Prometheus naming conventions on obs registrations
+//	lockcheck     guarded-by annotations: unlocked access, lock leaks,
+//	              blocking calls under a lock (CFG + dataflow)
+//	statecheck    declared state-machine transitions and acquire/release
+//	              pairing of declared resources along all paths
+//	clockpurity   wall-clock access outside the ctl.Clock seam, including
+//	              stored-then-called time functions (flow-sensitive)
+//	leakcheck     goroutines with no reachable termination path
 //
 // Usage:
 //
 //	go run ./cmd/rexlint ./...
-//	go run ./cmd/rexlint ./internal/core ./internal/plan
+//	go run ./cmd/rexlint -tags debugasserts ./...
+//	go run ./cmd/rexlint -json ./internal/core ./internal/plan
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 // Suppress a finding with a trailing or preceding comment:
@@ -21,25 +30,38 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"rexchange/internal/lint"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	tags := flag.String("tags", "", "comma-separated build tags for module file selection (e.g. debugasserts)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rexlint [-list] <package patterns>\nexample: go run ./cmd/rexlint ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: rexlint [-list] [-json] [-tags t1,t2] <package patterns>\nexample: go run ./cmd/rexlint ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*list, flag.Args()))
+	os.Exit(run(*list, *jsonOut, *tags, flag.Args()))
 }
 
-func run(list bool, patterns []string) int {
+// jsonDiag is the machine-readable diagnostic record emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(list, jsonOut bool, tags string, patterns []string) int {
 	modDir, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rexlint:", err)
@@ -49,6 +71,9 @@ func run(list bool, patterns []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rexlint:", err)
 		return 2
+	}
+	if tags != "" {
+		loader.SetBuildTags(strings.Split(tags, ","))
 	}
 	analyzers := lint.Analyzers(loader.ModPath)
 	if list {
@@ -65,7 +90,7 @@ func run(list bool, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "rexlint:", err)
 		return 2
 	}
-	bad := false
+	var all []jsonDiag
 	for _, pkg := range pkgs {
 		diags, err := lint.RunAnalyzers(pkg, analyzers)
 		if err != nil {
@@ -73,15 +98,32 @@ func run(list bool, patterns []string) int {
 			return 2
 		}
 		for _, d := range diags {
-			bad = true
 			pos := d.Pos
 			if rel, err := filepath.Rel(modDir, pos.Filename); err == nil {
 				pos.Filename = rel
 			}
-			fmt.Printf("%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+			all = append(all, jsonDiag{
+				File: pos.Filename, Line: pos.Line, Column: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if bad {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "rexlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(all) > 0 {
 		return 1
 	}
 	return 0

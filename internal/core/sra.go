@@ -148,7 +148,7 @@ func (st *state) run() {
 	cfg := st.cfg
 	var runStart time.Time
 	if cfg.Recorder != nil {
-		runStart = time.Now()
+		runStart = time.Now() //rexlint:ignore clockpurity recorder wall time feeds telemetry only
 	}
 	st.curObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
 	st.best = st.cur.Clone()
@@ -283,7 +283,7 @@ func (st *state) run() {
 		}
 	}
 	if cfg.Recorder != nil {
-		st.flushRecorder(time.Since(runStart).Seconds())
+		st.flushRecorder(time.Since(runStart).Seconds()) //rexlint:ignore clockpurity recorder wall time feeds telemetry only
 	}
 }
 

@@ -38,7 +38,7 @@ type Clock interface {
 // cover hours of simulated operation in milliseconds.
 type VirtualClock struct {
 	mu  sync.Mutex
-	now float64
+	now float64 // guarded by: mu
 }
 
 // NewVirtualClock returns a virtual clock at t=0.

@@ -109,17 +109,17 @@ type Controller struct {
 	src   LoadSource
 
 	mu       sync.Mutex
-	live     *cluster.Placement
-	exec     *Executor
-	state    State
-	campaign bool
-	round    int
-	solves   int
+	live     *cluster.Placement // guarded by: mu
+	exec     *Executor          // guarded by: mu
+	state    State              // guarded by: mu
+	campaign bool               // guarded by: mu
+	round    int                // guarded by: mu
+	solves   int                // guarded by: mu
 	// lastSolveAt is meaningful only once everSolved is true.
-	lastSolveAt float64
-	everSolved  bool
-	lastReport  metrics.Report
-	history     []RoundStat
+	lastSolveAt float64        // guarded by: mu
+	everSolved  bool           // guarded by: mu
+	lastReport  metrics.Report // guarded by: mu
+	history     []RoundStat    // guarded by: mu
 
 	// Telemetry (all may be nil/zero when Config.Registry/Journal are
 	// unset). recorder is handed to per-round solves unless the solver
@@ -173,6 +173,8 @@ func New(cfg Config, clock Clock, p *cluster.Placement, src LoadSource) (*Contro
 
 // setState transitions the controller state, mirroring it onto the
 // rex_ctl_state gauge. Callers hold c.mu.
+//
+//rexlint:holds c.mu
 func (c *Controller) setState(s State) {
 	c.state = s
 	c.m.stateGauge(s)
@@ -400,12 +402,12 @@ func (c *Controller) solveRound(stat *RoundStat) {
 	if scfg.Recorder == nil {
 		scfg.Recorder = c.recorder
 	}
-	wallStart := time.Now()
+	wallStart := time.Now() //rexlint:ignore clockpurity wall time feeds metrics only, never decisions
 	res, err := core.New(scfg).SolveParallel(planning, c.cfg.Budget.Restarts)
 	if c.m != nil {
 		// Wall time feeds metrics only; the journal sticks to Clock
 		// seconds so virtual-clock runs stay bit-reproducible.
-		c.m.solveSeconds.Observe(time.Since(wallStart).Seconds())
+		c.m.solveSeconds.Observe(time.Since(wallStart).Seconds()) //rexlint:ignore clockpurity metrics-only wall time
 	}
 	c.clock.Sleep(c.cfg.Budget.SolveSeconds)
 

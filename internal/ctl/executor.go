@@ -12,7 +12,18 @@ import (
 )
 
 // MoveStatus is the lifecycle state of one scheduled move inside the
-// executor.
+// executor. The transition table and the reservation resource below are
+// machine-checked by rexlint's statecheck analyzer on every path through
+// this file: a status assignment outside the table, a double release, or
+// a return that leaves a released move looking in-flight is a build
+// failure.
+//
+//rexlint:transition MovePending -> MoveInFlight MoveCancelled
+//rexlint:transition MoveInFlight -> MoveDone MoveRetrying MoveCancelled
+//rexlint:transition MoveRetrying -> MoveInFlight MoveCancelled
+//rexlint:transition MoveDone ->
+//rexlint:transition MoveCancelled ->
+//rexlint:resource reservation held=MoveInFlight acquire=reserve release=release
 type MoveStatus int
 
 // Move lifecycle states.
@@ -262,6 +273,12 @@ func (e *Executor) abort() {
 	}
 }
 
+// reserve holds the move's static demand on its destination while the
+// copy is in flight; admission checks see it immediately.
+func (e *Executor) reserve(mv plan.Move) {
+	e.reserved[mv.To] = e.reserved[mv.To].Add(e.c.Shards[mv.S].Static)
+}
+
 // release frees the destination reservation of an in-flight move.
 func (e *Executor) release(mv plan.Move) {
 	e.reserved[mv.To] = e.reserved[mv.To].Sub(e.c.Shards[mv.S].Static)
@@ -432,7 +449,7 @@ func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
 		}
 		retry := st.status == MoveRetrying
 		size := e.c.Shards[mv.S].Static[vec.Disk]
-		e.reserved[mv.To] = e.reserved[mv.To].Add(e.c.Shards[mv.S].Static)
+		e.reserve(mv)
 		e.airborne[mv.S] = true
 		st.status = MoveInFlight
 		st.attempts++

@@ -14,6 +14,14 @@ import "strings"
 //   - errignore guards every internal package.
 //   - metricname guards the whole module: any package may register metrics
 //     on an obs.Registry and the exposition contract is global.
+//   - lockcheck guards the whole module: guarded-by annotations are opt-in
+//     per field, so un-annotated packages cost nothing.
+//   - statecheck guards the whole module: it activates only in packages
+//     that declare transition/resource directives.
+//   - clockpurity guards the deterministic packages (core, sim, ctl, obs):
+//     wall time must enter through the ctl.Clock seam only.
+//   - leakcheck guards the long-running control plane (ctl and the
+//     commands), where an unstoppable goroutine defeats shutdown.
 //
 // The scope lives here, in the driver policy, rather than inside the
 // analyzers, so the test harness can exercise each analyzer on fixtures
@@ -54,5 +62,26 @@ func Analyzers(modPath string) []*Analyzer {
 		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
 	}
 
-	return []*Analyzer{&noGlobalRand, &mapOrder, &floatEq, &errIgnore, &metricName}
+	lockCheck := *LockCheck
+	lockCheck.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
+	stateCheck := *StateCheck
+	stateCheck.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
+	clockPurity := *ClockPurity
+	clockPurity.AppliesTo = inModule(
+		"/internal/core", "/internal/sim", "/internal/ctl", "/internal/obs",
+	)
+
+	leakCheck := *LeakCheck
+	leakCheck.AppliesTo = inModule("/internal/ctl", "/cmd")
+
+	return []*Analyzer{
+		&noGlobalRand, &mapOrder, &floatEq, &errIgnore, &metricName,
+		&lockCheck, &stateCheck, &clockPurity, &leakCheck,
+	}
 }

@@ -1,0 +1,638 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src (function declarations, no package clause) and
+// builds the CFG of the first function with a body.
+func buildTestCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgtest.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatalf("no function with body in source")
+	return nil
+}
+
+// condEdgeCount counts edges carrying a branch condition.
+func condEdgeCount(g *CFG) (pos, neg int) {
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			if e.Neg {
+				neg++
+			} else {
+				pos++
+			}
+		}
+	}
+	return pos, neg
+}
+
+// hasCycle reports whether the reachable part of g contains a cycle.
+func hasCycle(g *CFG) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Block]int)
+	var visit func(*Block) bool
+	visit = func(b *Block) bool {
+		color[b] = gray
+		for _, e := range b.Succs {
+			switch color[e.To] {
+			case gray:
+				return true
+			case white:
+				if visit(e.To) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	return visit(g.Entry)
+}
+
+func TestCFGConstruction(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		// expectations
+		exitReachable bool
+		cycle         bool
+		posCond       int // -1 = don't check
+		negCond       int
+		defers        int
+		check         func(t *testing.T, g *CFG)
+	}{
+		{
+			name: "straight line",
+			src: `func f() {
+				x := 1
+				x++
+				_ = x
+			}`,
+			exitReachable: true, cycle: false, posCond: 0, negCond: 0,
+		},
+		{
+			name: "if else",
+			src: `func f(a bool) int {
+				if a {
+					return 1
+				} else {
+					return 2
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 1, negCond: 1,
+		},
+		{
+			name: "if without else falls through",
+			src: `func f(a bool) {
+				if a {
+					println("t")
+				}
+				println("after")
+			}`,
+			exitReachable: true, cycle: false, posCond: 1, negCond: 1,
+		},
+		{
+			name: "short-circuit and",
+			src: `func f(a, b bool) {
+				if a && b {
+					println("both")
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 2, negCond: 2,
+		},
+		{
+			name: "short-circuit or with not",
+			src: `func f(a, b, c bool) {
+				if !(a || b) && c {
+					println("x")
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 3, negCond: 3,
+		},
+		{
+			name: "for loop with condition",
+			src: `func f(n int) {
+				for i := 0; i < n; i++ {
+					println(i)
+				}
+			}`,
+			exitReachable: true, cycle: true, posCond: 1, negCond: 1,
+		},
+		{
+			name: "infinite for never exits",
+			src: `func f() {
+				for {
+					println("spin")
+				}
+			}`,
+			exitReachable: false, cycle: true, posCond: 0, negCond: 0,
+		},
+		{
+			name: "infinite for with break exits",
+			src: `func f(a bool) {
+				for {
+					if a {
+						break
+					}
+				}
+			}`,
+			exitReachable: true, cycle: true, posCond: -1, negCond: -1,
+		},
+		{
+			name: "nested loops unlabeled break only exits inner",
+			src: `func f() {
+				for {
+					for {
+						break
+					}
+				}
+			}`,
+			exitReachable: false, cycle: true, posCond: -1, negCond: -1,
+		},
+		{
+			name: "labeled break exits outer",
+			// the only path breaks straight out, so no reachable cycle
+			src: `func f() {
+			outer:
+				for {
+					for {
+						break outer
+					}
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: -1, negCond: -1,
+		},
+		{
+			name: "labeled continue targets outer loop",
+			src: `func f(n int) {
+			outer:
+				for i := 0; i < n; i++ {
+					for {
+						continue outer
+					}
+				}
+			}`,
+			exitReachable: true, cycle: true, posCond: -1, negCond: -1,
+		},
+		{
+			name: "range loop",
+			src: `func f(xs []int) {
+				for _, x := range xs {
+					println(x)
+				}
+			}`,
+			exitReachable: true, cycle: true, posCond: 0, negCond: 0,
+		},
+		{
+			name: "switch with tag synthesizes eq conds",
+			src: `func f(x int) {
+				switch x {
+				case 1, 2:
+					println("small")
+				case 3:
+					println("three")
+				}
+			}`,
+			// one cond edge per case expression: 1, 2, 3
+			exitReachable: true, cycle: false, posCond: 3, negCond: 0,
+			check: func(t *testing.T, g *CFG) {
+				// every synthesized cond is tag == caseExpr
+				for _, b := range g.Blocks {
+					for _, e := range b.Succs {
+						if e.Cond == nil {
+							continue
+						}
+						be, ok := e.Cond.(*ast.BinaryExpr)
+						if !ok || be.Op != token.EQL {
+							t.Errorf("switch edge cond is %T, want == BinaryExpr", e.Cond)
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "switch with default has no direct exit edge from head",
+			src: `func f(x int) int {
+				switch x {
+				case 1:
+					return 1
+				default:
+					return 0
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 1, negCond: 0,
+		},
+		{
+			name: "switch fallthrough chains case bodies",
+			src: `func f(x int) {
+				n := 0
+				switch x {
+				case 1:
+					n++
+					fallthrough
+				case 2:
+					n++
+				}
+				_ = n
+			}`,
+			exitReachable: true, cycle: false, posCond: 2, negCond: 0,
+			check: func(t *testing.T, g *CFG) {
+				// the two case blocks must be connected: some non-head
+				// block with nodes has an unconditional edge to another
+				// block with nodes that also reaches exit
+				found := false
+				for _, b := range g.Blocks {
+					for _, e := range b.Succs {
+						if e.Cond == nil && len(b.Nodes) > 0 && len(e.To.Nodes) > 0 && e.To != g.Exit {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Errorf("no fallthrough edge found between case bodies")
+				}
+			},
+		},
+		{
+			name: "condition switch uses case exprs as conds",
+			src: `func f(x int) {
+				switch {
+				case x > 0:
+					println("pos")
+				case x < 0:
+					println("neg")
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 2, negCond: 0,
+		},
+		{
+			name: "defer recorded and kept in block",
+			src: `func f() {
+				defer println("done")
+				defer println("done2")
+				println("work")
+			}`,
+			exitReachable: true, cycle: false, posCond: 0, negCond: 0, defers: 2,
+			check: func(t *testing.T, g *CFG) {
+				n := 0
+				for _, b := range g.Blocks {
+					for _, nd := range b.Nodes {
+						if _, ok := nd.(*ast.DeferStmt); ok {
+							n++
+						}
+					}
+				}
+				if n != 2 {
+					t.Errorf("defer nodes in blocks = %d, want 2", n)
+				}
+			},
+		},
+		{
+			name: "panic edges to exit and kills fallthrough",
+			src: `func f(a bool) {
+				if a {
+					panic("boom")
+				}
+				println("after")
+			}`,
+			exitReachable: true, cycle: false, posCond: 1, negCond: 1,
+			check: func(t *testing.T, g *CFG) {
+				// the block containing panic must have exactly one succ: Exit
+				for _, b := range g.Blocks {
+					for _, nd := range b.Nodes {
+						es, ok := nd.(*ast.ExprStmt)
+						if !ok {
+							continue
+						}
+						call, ok := es.X.(*ast.CallExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+							if len(b.Succs) != 1 || b.Succs[0].To != g.Exit {
+								t.Errorf("panic block succs = %v, want single edge to exit", b.Succs)
+							}
+						}
+					}
+				}
+			},
+		},
+		{
+			name: "statements after return are unreachable",
+			src: `func f() int {
+				return 1
+				println("dead")
+			}`,
+			exitReachable: true, cycle: false, posCond: 0, negCond: 0,
+			check: func(t *testing.T, g *CFG) {
+				reach := g.Reachable()
+				dead := 0
+				for _, b := range g.Blocks {
+					if !reach[b] && len(b.Nodes) > 0 {
+						dead++
+					}
+				}
+				if dead == 0 {
+					t.Errorf("expected an unreachable block holding the dead statement")
+				}
+			},
+		},
+		{
+			name: "goto backward forms a cycle",
+			src: `func f() {
+			top:
+				println("x")
+				goto top
+			}`,
+			exitReachable: false, cycle: true, posCond: 0, negCond: 0,
+		},
+		{
+			name: "goto forward skips code",
+			src: `func f(a bool) {
+				if a {
+					goto done
+				}
+				println("work")
+			done:
+				println("done")
+			}`,
+			exitReachable: true, cycle: false, posCond: 1, negCond: 1,
+		},
+		{
+			name: "empty select never continues",
+			src: `func f() {
+				select {}
+			}`,
+			exitReachable: false, cycle: false, posCond: 0, negCond: 0,
+		},
+		{
+			name: "select with clauses branches per clause",
+			src: `func f(a, b chan int) {
+				select {
+				case <-a:
+					println("a")
+				case v := <-b:
+					println(v)
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 0, negCond: 0,
+		},
+		{
+			name: "for select done pattern exits",
+			src: `func f(done chan struct{}, work chan int) {
+				for {
+					select {
+					case <-done:
+						return
+					case w := <-work:
+						println(w)
+					}
+				}
+			}`,
+			exitReachable: true, cycle: true, posCond: 0, negCond: 0,
+		},
+		{
+			name: "type switch branches per clause",
+			src: `func f(x interface{}) {
+				switch v := x.(type) {
+				case int:
+					println(v)
+				case string:
+					println(v)
+				}
+			}`,
+			exitReachable: true, cycle: false, posCond: 0, negCond: 0,
+		},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			g := buildTestCFG(t, tt.src)
+			if got := g.ExitReachable(); got != tt.exitReachable {
+				t.Errorf("exit reachable = %v, want %v\n%s", got, tt.exitReachable, g)
+			}
+			if got := hasCycle(g); got != tt.cycle {
+				t.Errorf("cycle = %v, want %v\n%s", got, tt.cycle, g)
+			}
+			if tt.posCond >= 0 {
+				pos, neg := condEdgeCount(g)
+				if pos != tt.posCond || neg != tt.negCond {
+					t.Errorf("cond edges = (%d pos, %d neg), want (%d, %d)\n%s",
+						pos, neg, tt.posCond, tt.negCond, g)
+				}
+			}
+			if len(g.Defers) != tt.defers {
+				t.Errorf("defers = %d, want %d", len(g.Defers), tt.defers)
+			}
+			if tt.check != nil {
+				tt.check(t, g)
+			}
+		})
+	}
+}
+
+// assignedFlow is a forward must-analysis used to exercise the solver: the
+// fact is the set of variable names assigned on EVERY path so far
+// (intersection at joins).
+type assignedFlow struct{}
+
+func (assignedFlow) Entry() map[string]bool { return map[string]bool{} }
+
+func (assignedFlow) Join(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (assignedFlow) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (assignedFlow) Transfer(n ast.Node, in map[string]bool) map[string]bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	out := map[string]bool{}
+	for k := range in {
+		out[k] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func TestForwardMustAssigned(t *testing.T) {
+	g := buildTestCFG(t, `func f(c bool) {
+		var a, b, both, neither int
+		x := 1
+		if c {
+			a = x
+			both = x
+		} else {
+			b = x
+			both = x
+		}
+		_ = a
+		_ = b
+		_ = both
+		_ = neither
+	}`)
+	facts := Forward[map[string]bool](g, assignedFlow{})
+	atExit, ok := facts.In[g.Exit]
+	if !ok {
+		t.Fatalf("no fact at exit\n%s", g)
+	}
+	var got []string
+	for k := range atExit {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := "both x"
+	if s := strings.Join(got, " "); s != want {
+		t.Errorf("must-assigned at exit = %q, want %q\n%s", s, want, g)
+	}
+}
+
+func TestForwardLoopConverges(t *testing.T) {
+	g := buildTestCFG(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			x := i
+			_ = x
+		}
+		y := 1
+		_ = y
+	}`)
+	facts := Forward[map[string]bool](g, assignedFlow{})
+	atExit := facts.In[g.Exit]
+	// i := 0 runs before the loop, x only inside the body (the body may
+	// execute zero times), y always after.
+	if !atExit["i"] || !atExit["y"] || atExit["x"] {
+		t.Errorf("must-assigned at exit = %v, want i,y but not x\n%s", atExit, g)
+	}
+}
+
+// mustCallFlow is a backward must-analysis: the fact is true when every
+// path from this point to exit calls the function named fn.
+type mustCallFlow struct{ fn string }
+
+func (mustCallFlow) Entry() bool          { return false }
+func (mustCallFlow) Join(a, b bool) bool  { return a && b }
+func (mustCallFlow) Equal(a, b bool) bool { return a == b }
+
+func (m mustCallFlow) Transfer(n ast.Node, after bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == m.fn {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	return after
+}
+
+func TestBackwardMustCall(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{
+			name: "called on both branches",
+			src: `func f(c bool) {
+				if c {
+					cleanup()
+				} else {
+					cleanup()
+				}
+			}`,
+			want: true,
+		},
+		{
+			name: "missed on else path",
+			src: `func f(c bool) {
+				if c {
+					cleanup()
+				}
+			}`,
+			want: false,
+		},
+		{
+			name: "early return skips call",
+			src: `func f(c bool) {
+				if c {
+					return
+				}
+				cleanup()
+			}`,
+			want: false,
+		},
+		{
+			name: "called before any branch",
+			src: `func f(c bool) {
+				cleanup()
+				if c {
+					return
+				}
+			}`,
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			g := buildTestCFG(t, tt.src)
+			facts := Backward[bool](g, mustCallFlow{fn: "cleanup"})
+			got, ok := facts.Out[g.Entry]
+			if !ok {
+				t.Fatalf("no fact at entry\n%s", g)
+			}
+			if got != tt.want {
+				t.Errorf("must-call(cleanup) at entry = %v, want %v\n%s", got, tt.want, g)
+			}
+		})
+	}
+}

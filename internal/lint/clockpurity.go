@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockPurity keeps deterministic packages off the wall clock. Direct
+// calls to the ambient time sources (time.Now, time.Since, time.Sleep,
+// time.After, ...) are flagged unless they occur inside a Clock
+// implementation — the single seam through which wall time is allowed to
+// enter. The analysis is flow-sensitive: storing a banned function value
+// and calling it later is caught at the call site, so
+//
+//	now := time.Now
+//	...
+//	t := now() // flagged here
+//
+// cannot smuggle wall time past a grep. Global math/rand use is policed
+// separately by noglobalrand.
+//
+// A function is exempt when its receiver type or any of its result types
+// implements the Clock interface (resolved from the package itself or
+// from an imported internal/ctl): WallClock.Now, WallClock.Sleep, and
+// constructors like NewWallClock are legitimate wall-time sinks.
+var ClockPurity = &Analyzer{
+	Name: "clockpurity",
+	Doc:  "flag wall-clock access (time.Now/Since/Sleep/...) outside Clock implementations, including via stored function values",
+	Run:  runClockPurity,
+}
+
+// bannedTimeFuncs are the package-level time functions that read or wait
+// on the ambient clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// taintFact maps object keys of locals to the banned time function they
+// currently hold ("time.Now", ...). May-analysis: union join.
+type taintFact map[string]string
+
+type taintFlow struct {
+	info *types.Info
+}
+
+func (tf *taintFlow) Entry() taintFact { return taintFact{} }
+
+func (tf *taintFlow) Join(a, b taintFact) taintFact {
+	out := taintFact{}
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func (tf *taintFlow) Equal(a, b taintFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (tf *taintFlow) Transfer(n ast.Node, in taintFact) taintFact {
+	out := in
+	copied := false
+	set := func(k, v string) {
+		if !copied {
+			cp := taintFact{}
+			for kk, vv := range out {
+				cp[kk] = vv
+			}
+			out, copied = cp, true
+		}
+		if v == "" {
+			delete(out, k)
+		} else {
+			out[k] = v
+		}
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			key, okKey := exprKey(tf.info, lhs)
+			if !okKey {
+				continue
+			}
+			if src := bannedTimeValue(tf.info, as.Rhs[i]); src != "" {
+				set(key, src)
+			} else if rk, okR := exprKey(tf.info, as.Rhs[i]); okR && out[rk] != "" {
+				set(key, out[rk])
+			} else {
+				if out[key] != "" {
+					set(key, "")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// bannedTimeValue reports the banned time function that e references as a
+// value ("time.Now"), or "" if e is not one. Calls are handled separately:
+// this matches the bare function value only.
+func bannedTimeValue(info *types.Info, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if name := bannedTimeFunc(info, sel); name != "" {
+		return name
+	}
+	return ""
+}
+
+// bannedTimeFunc reports "time.<Name>" when sel resolves to a banned
+// package-level function of the time package.
+func bannedTimeFunc(info *types.Info, sel *ast.SelectorExpr) string {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "" // method on time.Time/Timer etc., not an ambient source
+	}
+	if !bannedTimeFuncs[fn.Name()] {
+		return ""
+	}
+	return "time." + fn.Name()
+}
+
+func runClockPurity(pass *Pass) error {
+	clockIface := findClockInterface(pass.Pkg)
+	for _, file := range pass.Files {
+		funcBodies(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			if fd != nil && clockExempt(pass.TypesInfo, fd, clockIface) {
+				return
+			}
+			checkClockPurity(pass, body)
+		})
+	}
+	return nil
+}
+
+// findClockInterface resolves the Clock seam interface: a package-local
+// interface type named Clock, or failing that, Clock from an imported
+// internal/ctl package.
+func findClockInterface(pkg *types.Package) *types.Interface {
+	lookup := func(p *types.Package) *types.Interface {
+		obj := p.Scope().Lookup("Clock")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	if pkg == nil {
+		return nil
+	}
+	if iface := lookup(pkg); iface != nil {
+		return iface
+	}
+	for _, imp := range pkg.Imports() {
+		if pathHasSuffix(imp.Path(), "internal/ctl") {
+			if iface := lookup(imp); iface != nil {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// pathHasSuffix reports whether path ends with the given slash-separated
+// suffix on a path-component boundary.
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// clockExempt reports whether fd is part of a Clock implementation: its
+// receiver or one of its results implements the Clock interface.
+func clockExempt(info *types.Info, fd *ast.FuncDecl, iface *types.Interface) bool {
+	if iface == nil {
+		return false
+	}
+	implements := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if types.Implements(t, iface) {
+			return true
+		}
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			if types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
+		return false
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if implements(info.TypeOf(fd.Recv.List[0].Type)) {
+			return true
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			if implements(info.TypeOf(r.Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkClockPurity solves the taint facts over body's CFG and reports
+// banned calls.
+func checkClockPurity(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	g := BuildCFG(body, info)
+	facts := Forward[taintFact](g, &taintFlow{info: info})
+	flow := &taintFlow{info: info}
+
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		f, ok := facts.In[b]
+		if !ok {
+			continue
+		}
+		for _, n := range b.Nodes {
+			reportClockCalls(pass, n, f)
+			f = flow.Transfer(n, f)
+		}
+	}
+}
+
+// reportClockCalls flags direct and stored-value calls of banned time
+// functions within one straight-line node.
+func reportClockCalls(pass *Pass, n ast.Node, f taintFact) {
+	info := pass.TypesInfo
+	inspectShallow(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if name := bannedTimeFunc(info, sel); name != "" {
+				pass.Reportf(call.Pos(), "%s bypasses the Clock seam; inject a ctl.Clock instead", name)
+				return true
+			}
+		}
+		if key, ok := exprKey(info, fun); ok {
+			if src := f[key]; src != "" {
+				pass.Reportf(call.Pos(), "call of %s (holds %s) bypasses the Clock seam; inject a ctl.Clock instead",
+					renderPath(fun), src)
+			}
+		}
+		return true
+	})
+}

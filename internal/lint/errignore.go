@@ -12,35 +12,120 @@ import (
 // read-only file is the dominant, harmless idiom), as are writers that are
 // documented never to fail: fmt printing to standard output,
 // strings.Builder, and bytes.Buffer.
+//
+// Sticky-error results are held to a stricter standard. A module-local
+// method named Close, Err, Flush, or Save that returns an error is the
+// final accounting of everything that went wrong earlier ((*obs.Journal)
+// accumulates its first write error and reports it from Close/Err), so
+// discarding it loses failures that were deliberately deferred until
+// now. For those calls even the `_ =` and bare-defer forms are flagged:
+// the error must reach a check, typically via a deferred closure that
+// folds it into a named return.
 var ErrIgnore = &Analyzer{
 	Name: "errignore",
-	Doc:  "flag call statements whose error result is silently dropped",
+	Doc:  "flag call statements whose error result is silently dropped, including _ = and defer forms for sticky errors",
 	Run:  runErrIgnore,
 }
 
 var errorType = types.Universe.Lookup("error").Type()
 
+// stickyNames are the module-local method names whose error result is a
+// sticky accumulation rather than a per-call failure.
+var stickyNames = map[string]bool{
+	"Close": true,
+	"Err":   true,
+	"Flush": true,
+	"Save":  true,
+}
+
 func runErrIgnore(pass *Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pass, call) || exemptCall(pass, call) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"error result of %s is silently dropped; handle it or assign to _ explicitly",
+					calleeName(call))
+			case *ast.AssignStmt:
+				// `_ = x.Close()`: fine in general, not for sticky errors.
+				if len(stmt.Rhs) != 1 || !allBlank(stmt.Lhs) {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if returnsError(pass, call) && stickyCall(pass, call) {
+					pass.Reportf(call.Pos(),
+						"sticky error of %s is discarded with _ =; it is the final accounting of earlier failures and must be checked",
+						calleeName(call))
+				}
+			case *ast.DeferStmt:
+				// `defer x.Close()`: fine in general, not for sticky errors.
+				if returnsError(pass, stmt.Call) && stickyCall(pass, stmt.Call) {
+					pass.Reportf(stmt.Call.Pos(),
+						"deferred %s discards its sticky error; fold it into a named return from a deferred closure",
+						calleeName(stmt.Call))
+				}
 			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if !returnsError(pass, call) || exemptCall(pass, call) {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"error result of %s is silently dropped; handle it or assign to _ explicitly",
-				calleeName(call))
 			return true
 		})
 	}
 	return nil
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// stickyCall reports whether call invokes a module-local sticky-error
+// method (Close/Err/Flush/Save on a type declared in the same module as
+// the package under analysis). Standard-library and third-party Close
+// methods keep the relaxed rules.
+func stickyCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || !stickyNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	named, okn := t.(*types.Named)
+	if !okn || named.Obj().Pkg() == nil {
+		return false
+	}
+	return firstPathSegment(named.Obj().Pkg().Path()) == firstPathSegment(pass.Pkg.Path())
+}
+
+// firstPathSegment returns the import path up to the first slash — the
+// module root for module-local packages.
+func firstPathSegment(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
 }
 
 // returnsError reports whether the call's (last) result is an error.

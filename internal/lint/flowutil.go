@@ -1,0 +1,232 @@
+package lint
+
+// Shared helpers for the dataflow-based analyzers: canonical keys for
+// lvalue paths, directive parsing, and AST walks that respect function
+// boundaries.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprKey canonicalizes an ident/selector path (`c`, `c.mu`, `st.status`)
+// into a string key rooted at the types.Object of the leftmost identifier,
+// so shadowed names never collide and the same path always produces the
+// same key within a function. ok is false for expressions that are not
+// simple paths (index expressions, calls, literals).
+func exprKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return fmt.Sprintf("v%p", obj), true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(info, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		return exprKey(info, x.X)
+	}
+	return "", false
+}
+
+// rootObject returns the types.Object of the leftmost identifier of a
+// path expression, or nil.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// renderPath renders an ident/selector path for diagnostics ("c.mu").
+func renderPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderPath(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return renderPath(x.X)
+	}
+	return "<expr>"
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// function literals: nested closures have their own control flow and are
+// analyzed separately.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return fn(x)
+	})
+}
+
+// funcBodies yields every function body in the file together with its
+// declaration (nil for function literals): top-level FuncDecls first, then
+// any nested FuncLits, each exactly once.
+func funcBodies(file *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(nil, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// directives scans the comments of all files for `//rexlint:<name> ...`
+// lines and returns the argument fields of each occurrence of name.
+func directives(files []*ast.File, name string) [][]string {
+	prefix := "rexlint:" + name
+	var out [][]string
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, prefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				out = append(out, strings.Fields(rest))
+			}
+		}
+	}
+	return out
+}
+
+// funcDirective extracts `//rexlint:<name> ...` lines from one function's
+// doc comment.
+func funcDirective(fd *ast.FuncDecl, name string) [][]string {
+	if fd == nil || fd.Doc == nil {
+		return nil
+	}
+	prefix := "rexlint:" + name
+	var out [][]string
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(text, prefix)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		out = append(out, strings.Fields(rest))
+	}
+	return out
+}
+
+// derefStruct unwraps pointers and named types down to a struct type, or
+// nil.
+func derefStruct(t types.Type) *types.Struct {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			t = x.Underlying()
+		case *types.Struct:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// blockFallsToExit reports whether b flows into the synthetic exit block
+// without an explicit return/panic node of its own — the implicit return
+// at the closing brace.
+func blockFallsToExit(g *CFG, b *Block, info *types.Info) bool {
+	toExit := false
+	for _, e := range b.Succs {
+		if e.To == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	for _, n := range b.Nodes {
+		if isFlowExit(info, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// lastPos picks a report position for a fall-off-the-end block: its last
+// node, or the body's closing brace when the block is empty.
+func lastPos(b *Block, body *ast.BlockStmt) token.Pos {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[len(b.Nodes)-1].Pos()
+	}
+	return body.Rbrace
+}
+
+// forEachAccess classifies, within one straight-line node, which selector
+// expressions are written (assignment LHS, ++/--, or address-taken) and
+// calls fn for each selector access with its write-ness.
+func forEachAccess(n ast.Node, fn func(sel *ast.SelectorExpr, write bool)) {
+	writes := map[ast.Expr]bool{}
+	// markWrite records e and, for index/deref targets like `s.m[k]` or
+	// `*s.p`, the underlying base path as written.
+	var markWrite func(e ast.Expr)
+	markWrite = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		writes[e] = true
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			markWrite(x.X)
+		case *ast.StarExpr:
+			markWrite(x.X)
+		}
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markWrite(s.X)
+			}
+		}
+		return true
+	})
+	inspectShallow(n, func(x ast.Node) bool {
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			fn(sel, writes[sel])
+		}
+		return true
+	})
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck flags goroutines with no reachable shutdown path. For every
+// `go` statement it builds the CFG of the spawned function — a literal,
+// or a same-package named function/method — and requires the synthetic
+// exit block to be reachable from entry. A goroutine whose body is an
+// unconditional loop with no break, return, or terminating range/receive
+// cannot be stopped and outlives every controller shutdown:
+//
+//	go func() {
+//		for {
+//			work() // flagged: no path ever leaves the loop
+//		}
+//	}()
+//
+// Threading a done channel (`case <-done: return`), ranging over a
+// closable channel, or any conditional return satisfies the check.
+// Spawned functions from other packages cannot be analyzed and are
+// skipped.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "flag go statements whose goroutine has no reachable termination path (unstoppable goroutine)",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	// Map named functions/methods of this package to their declarations so
+	// `go e.loop()` can be resolved to a body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := spawnedBody(pass.TypesInfo, gs, decls)
+			if body == nil {
+				return true
+			}
+			g := BuildCFG(body, pass.TypesInfo)
+			if !g.ExitReachable() {
+				pass.Reportf(gs.Pos(), "goroutine %s has no reachable termination path; thread a shutdown signal (done channel or closable work channel)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnedBody resolves the body of the function started by gs: a function
+// literal, or a same-package function/method declaration. Returns nil for
+// bodies we cannot see.
+func spawnedBody(info *types.Info, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body, fn.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body, fn.Name()
+			}
+		}
+	}
+	return nil, ""
+}

@@ -19,6 +19,10 @@ func TestAnalyzers(t *testing.T) {
 		{lint.FloatEq, "floateq"},
 		{lint.ErrIgnore, "errignore"},
 		{lint.MetricName, "metricname"},
+		{lint.LockCheck, "lockcheck"},
+		{lint.ClockPurity, "clockpurity"},
+		{lint.StateCheck, "statecheck"},
+		{lint.LeakCheck, "leakcheck"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -52,6 +56,15 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"errignore", "rexchange/cmd/rexbench", false},
 		{"metricname", "rexchange/internal/ctl", true},
 		{"metricname", "rexchange/cmd/rexd", true},
+		{"lockcheck", "rexchange/internal/obs", true},
+		{"lockcheck", "rexchange/cmd/rexd", true},
+		{"statecheck", "rexchange/internal/ctl", true},
+		{"clockpurity", "rexchange/internal/ctl", true},
+		{"clockpurity", "rexchange/internal/sim", true},
+		{"clockpurity", "rexchange/internal/lint", false},
+		{"leakcheck", "rexchange/internal/ctl", true},
+		{"leakcheck", "rexchange/cmd/rexd", true},
+		{"leakcheck", "rexchange/internal/core", false},
 	}
 	for _, tc := range cases {
 		a, ok := byName[tc.analyzer]

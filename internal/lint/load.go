@@ -11,16 +11,18 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, typechecked package.
 type Package struct {
-	Path  string // import path
-	Dir   string
-	Fset  *token.FileSet
-	Files []*ast.File // non-test files matching the default build context
-	Types *types.Package
-	Info  *types.Info
+	Path    string // import path
+	ModPath string // module path of the loader that produced it
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File // non-test files matching the build context
+	Types   *types.Package
+	Info    *types.Info
 }
 
 // Loader parses and typechecks packages from source with no external
@@ -29,13 +31,49 @@ type Package struct {
 // $GOROOT/src. This restricts rexlint to dependency-free modules — which
 // this repository is, by policy — in exchange for a fully hermetic,
 // offline driver.
+//
+// Standard-library imports are typechecked once per process, not once per
+// Loader: every Loader shares the stdCache below, so a whole-repo
+// `rexlint ./...` run (and equally the fixture test harness, which builds
+// one Loader per fixture) pays for a single GOROOT pass. Imported
+// packages are checked without a types.Info — analyzers only inspect the
+// syntax of target packages, and skipping the Defs/Uses/Selections maps
+// for the (much larger) import closure is the bulk of the loader's
+// speedup.
 type Loader struct {
 	ModPath string // module path from go.mod
 	ModDir  string // module root directory
 
+	fset   *token.FileSet
+	ctx    build.Context
+	pkgs   map[string]*Package
+	parsed map[string][]*ast.File // dir → parsed files (expand + load share one parse)
+}
+
+// stdCache is the process-wide cache of typechecked standard-library (and
+// $GOROOT/src/vendor) packages. It deliberately uses its own FileSet and
+// the default build context: stdlib sources never carry module build tags,
+// so Loaders with different -tags settings can safely share one cache, and
+// positions inside imported packages are never rendered in diagnostics.
+// One coarse mutex serializes stdlib typechecking; recursive imports go
+// through loadStdLocked directly so the lock is taken only at the
+// outermost entry.
+var stdCache = struct {
+	mu   sync.Mutex
 	fset *token.FileSet
 	ctx  build.Context
-	pkgs map[string]*Package
+	pkgs map[string]*types.Package
+}{
+	fset: token.NewFileSet(),
+	ctx:  defaultStdContext(),
+	pkgs: make(map[string]*types.Package),
+}
+
+// defaultStdContext is the fixed build context of the shared stdlib cache.
+func defaultStdContext() build.Context {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return ctx
 }
 
 // NewLoader creates a Loader for the module rooted at modDir. The module
@@ -53,7 +91,16 @@ func NewLoader(modDir string) (*Loader, error) {
 		fset:    token.NewFileSet(),
 		ctx:     ctx,
 		pkgs:    make(map[string]*Package),
+		parsed:  make(map[string][]*ast.File),
 	}, nil
+}
+
+// SetBuildTags sets the build tags honored when selecting module files
+// (e.g. "debugasserts"). Must be called before the first Load; the shared
+// stdlib cache keeps the default context regardless, since stdlib sources
+// do not use module tags.
+func (l *Loader) SetBuildTags(tags []string) {
+	l.ctx.BuildTags = append([]string(nil), tags...)
 }
 
 // readModulePath extracts the module path from a go.mod file.
@@ -74,21 +121,30 @@ func readModulePath(path string) (string, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
-// dirFor resolves an import path to a source directory.
-func (l *Loader) dirFor(path string) (string, error) {
+// moduleLocal reports whether path names this module or a package inside
+// it.
+func (l *Loader) moduleLocal(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
+}
+
+// moduleDir resolves a module-local import path to its source directory.
+func (l *Loader) moduleDir(path string) string {
 	if path == l.ModPath {
-		return l.ModDir, nil
+		return l.ModDir
 	}
-	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
-		return filepath.Join(l.ModDir, filepath.FromSlash(rest)), nil
-	}
-	dir := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	rest := strings.TrimPrefix(path, l.ModPath+"/")
+	return filepath.Join(l.ModDir, filepath.FromSlash(rest))
+}
+
+// stdDir resolves an import path under $GOROOT/src (or its vendor tree).
+func stdDir(path string) (string, error) {
+	dir := filepath.Join(stdCache.ctx.GOROOT, "src", filepath.FromSlash(path))
 	if st, err := os.Stat(dir); err == nil && st.IsDir() {
 		return dir, nil
 	}
 	// Dependencies vendored into the standard library (net/http pulls in
 	// golang.org/x/... this way) live under $GOROOT/src/vendor.
-	vdir := filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	vdir := filepath.Join(stdCache.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
 	if st, err := os.Stat(vdir); err == nil && st.IsDir() {
 		return vdir, nil
 	}
@@ -105,23 +161,77 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	pkg, err := l.load(path)
+	if l.moduleLocal(path) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return loadStd(path)
+}
+
+// loadStd returns the shared typechecked stdlib package for path.
+func loadStd(path string) (*types.Package, error) {
+	stdCache.mu.Lock()
+	defer stdCache.mu.Unlock()
+	return loadStdLocked(path)
+}
+
+// loadStdLocked parses and typechecks one stdlib package (and, through the
+// stdImporter, its import closure) under the cache lock. Imported
+// packages are checked without a types.Info: analyzers never inspect
+// stdlib syntax, and the Defs/Uses/Selections maps for the import closure
+// dwarf those of the target packages.
+func loadStdLocked(path string) (*types.Package, error) {
+	if p, ok := stdCache.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, err := stdDir(path)
 	if err != nil {
 		return nil, err
 	}
-	return pkg.Types, nil
+	files, err := parseGoDir(stdCache.fset, &stdCache.ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer: stdImporter{},
+		Sizes:    types.SizesFor(stdCache.ctx.Compiler, stdCache.ctx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, stdCache.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	stdCache.pkgs[path] = tpkg
+	return tpkg, nil
 }
 
-// load parses and typechecks the package at the given import path,
-// memoizing the result.
+// stdImporter resolves the imports of stdlib packages while the cache lock
+// is already held (stdlib only ever imports stdlib).
+type stdImporter struct{}
+
+// Import implements types.Importer for the stdlib closure.
+func (stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return loadStdLocked(path)
+}
+
+// load parses and typechecks the module-local package at the given import
+// path, memoizing the result.
 func (l *Loader) load(path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
-	dir, err := l.dirFor(path)
-	if err != nil {
-		return nil, err
+	if !l.moduleLocal(path) {
+		return nil, fmt.Errorf("lint: %q is not a module-local package", path)
 	}
+	dir := l.moduleDir(path)
 	files, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
@@ -151,7 +261,8 @@ func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 	return l.check(asPath, dir, files)
 }
 
-// check typechecks parsed files as one package.
+// check typechecks parsed files as one target package, with the full
+// types.Info analyzers need.
 func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -169,12 +280,30 @@ func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{
+		Path: path, ModPath: l.ModPath, Dir: dir,
+		Fset: l.fset, Files: files, Types: tpkg, Info: info,
+	}, nil
 }
 
-// parseDir parses the buildable non-test Go files of dir, honoring build
-// constraints under the default build context.
+// parseDir parses the buildable non-test Go files of dir under the
+// loader's build context, memoized so pattern expansion and loading share
+// one parse.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	if files, ok := l.parsed[dir]; ok {
+		return files, nil
+	}
+	files, err := parseGoDir(l.fset, &l.ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.parsed[dir] = files
+	return files, nil
+}
+
+// parseGoDir parses the buildable non-test Go files of dir, honoring build
+// constraints under the given build context.
+func parseGoDir(fset *token.FileSet, ctx *build.Context, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
@@ -185,11 +314,11 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		ok, err := l.ctx.MatchFile(dir, name)
+		ok, err := ctx.MatchFile(dir, name)
 		if err != nil || !ok {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}

@@ -1,0 +1,667 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockCheck enforces the `// guarded by: mu` annotation convention with a
+// CFG-based must-held/may-held mutex analysis:
+//
+//   - a read or write of an annotated struct field is flagged unless the
+//     named sibling mutex is held on EVERY path reaching the access
+//     (must-held, intersection join);
+//   - a Lock() that MAY still be held at a return or explicit panic, with
+//     no deferred Unlock scheduled on that path, is flagged at the Lock
+//     site (may-held, union join);
+//   - blocking operations under a held lock are flagged: channel sends and
+//     receives (unless in a select with a default clause),
+//     sync.WaitGroup.Wait, and calls to same-package methods that acquire
+//     the mutex already held (self-deadlock, detected via per-method lock
+//     summaries).
+//
+// Helper functions that run with the lock already held declare their
+// entry contract with a doc-comment directive:
+//
+//	//rexlint:holds c.mu
+//
+// Locals initialized from a composite literal or new() in the same
+// function are exempt from the guarded-field check: nothing else can hold
+// a reference yet, so constructors may fill fields lock-free.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flag guarded-field access without the mutex, lock leaks on return/panic paths, and blocking calls under a lock",
+	Run:  runLockCheck,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by:?\s*([A-Za-z_]\w*)`)
+
+// lockInfo describes one held mutex on a path.
+type lockInfo struct {
+	pos       token.Pos // Lock() position (or func start for entry facts)
+	path      string    // rendered mutex path for diagnostics
+	read      bool      // held via RLock only
+	deferred  bool      // an Unlock is deferred on this path
+	fromEntry bool      // held per //rexlint:holds; release is the caller's duty
+}
+
+// lockFact maps mutex keys (exprKey of the mutex path) to hold info.
+type lockFact map[string]lockInfo
+
+// lockFlow solves held-mutex facts forward; must selects intersection
+// (held on every path) versus union (held on some path) joins.
+type lockFlow struct {
+	info  *types.Info
+	entry lockFact
+	must  bool
+}
+
+func (lf *lockFlow) Entry() lockFact { return lf.entry }
+
+func (lf *lockFlow) mergeInfo(a, b lockInfo) lockInfo {
+	out := a
+	if b.pos < out.pos {
+		out.pos = b.pos
+	}
+	out.read = a.read || b.read
+	out.deferred = a.deferred && b.deferred
+	out.fromEntry = a.fromEntry || b.fromEntry
+	return out
+}
+
+func (lf *lockFlow) Join(a, b lockFact) lockFact {
+	out := lockFact{}
+	for k, ai := range a {
+		bi, ok := b[k]
+		if ok {
+			out[k] = lf.mergeInfo(ai, bi)
+		} else if !lf.must {
+			out[k] = ai
+		}
+	}
+	if !lf.must {
+		for k, bi := range b {
+			if _, ok := a[k]; !ok {
+				out[k] = bi
+			}
+		}
+	}
+	return out
+}
+
+func (lf *lockFlow) Equal(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ai := range a {
+		bi, ok := b[k]
+		if !ok || ai != bi {
+			return false
+		}
+	}
+	return true
+}
+
+func (lf *lockFlow) Transfer(n ast.Node, in lockFact) lockFact {
+	return lockTransfer(lf.info, n, in)
+}
+
+// lockTransfer applies one node's Lock/Unlock/defer effects.
+func lockTransfer(info *types.Info, n ast.Node, in lockFact) lockFact {
+	out := in
+	copied := false
+	ensure := func() {
+		if !copied {
+			cp := lockFact{}
+			for k, v := range out {
+				cp[k] = v
+			}
+			out, copied = cp, true
+		}
+	}
+
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if key, _, kind := mutexCall(info, d.Call); kind == lockRelease {
+			if li, held := out[key]; held {
+				ensure()
+				li.deferred = true
+				out[key] = li
+			}
+		}
+		return out
+	}
+
+	inspectShallow(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, path, kind := mutexCall(info, call)
+		switch kind {
+		case lockAcquire:
+			ensure()
+			out[key] = lockInfo{pos: call.Pos(), path: path}
+		case lockAcquireRead:
+			ensure()
+			out[key] = lockInfo{pos: call.Pos(), path: path, read: true}
+		case lockRelease:
+			if _, held := out[key]; held {
+				ensure()
+				delete(out, key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutex call kinds.
+const (
+	lockNone = iota
+	lockAcquire
+	lockAcquireRead
+	lockRelease
+)
+
+// mutexCall classifies a call as Lock/RLock/Unlock/RUnlock on a keyable
+// sync.Mutex or sync.RWMutex path, returning the mutex key and rendered
+// path.
+func mutexCall(info *types.Info, call *ast.CallExpr) (key, path string, kind int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", lockNone
+	}
+	var k int
+	switch sel.Sel.Name {
+	case "Lock":
+		k = lockAcquire
+	case "RLock":
+		k = lockAcquireRead
+	case "Unlock", "RUnlock":
+		k = lockRelease
+	default:
+		return "", "", lockNone
+	}
+	if !isMutexType(info.TypeOf(sel.X)) {
+		return "", "", lockNone
+	}
+	key, ok = exprKey(info, sel.X)
+	if !ok {
+		return "", "", lockNone
+	}
+	return key, renderPath(sel.X), k
+}
+
+// isMutexType reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// lockCtx is the per-package context for the checks.
+type lockCtx struct {
+	pass *Pass
+	// guarded maps annotated field objects to the sibling mutex field name.
+	guarded map[types.Object]string
+	// summaries maps same-package methods to the receiver mutex fields they
+	// acquire (for self-deadlock detection).
+	summaries map[*types.Func]map[string]bool
+	// nonBlocking holds channel-op nodes inside select clauses that have a
+	// default (they cannot block).
+	nonBlocking map[ast.Node]bool
+	// leakReported dedups lock-leak reports by Lock position.
+	leakReported map[token.Pos]bool
+}
+
+func runLockCheck(pass *Pass) error {
+	ctx := &lockCtx{
+		pass:         pass,
+		guarded:      collectGuarded(pass),
+		summaries:    collectLockSummaries(pass),
+		nonBlocking:  collectNonBlocking(pass),
+		leakReported: map[token.Pos]bool{},
+	}
+	for _, file := range pass.Files {
+		funcBodies(file, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			ctx.checkFunc(fd, body)
+		})
+	}
+	return nil
+}
+
+// collectGuarded parses `// guarded by: mu` field annotations, validating
+// that the named guard is a sibling mutex field.
+func collectGuarded(pass *Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Mutex fields available as guards in this struct.
+			mutexFields := map[string]bool{}
+			for _, f := range st.Fields.List {
+				if isMutexType(pass.TypesInfo.TypeOf(f.Type)) {
+					for _, name := range f.Names {
+						mutexFields[name.Name] = true
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := fieldGuard(f)
+				if mu == "" {
+					continue
+				}
+				if !mutexFields[mu] {
+					pass.Reportf(f.Pos(), "guarded by: %s names no sibling sync.Mutex/RWMutex field", mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldGuard extracts the guard name from a field's doc or trailing
+// comment.
+func fieldGuard(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// collectLockSummaries records, per method, the receiver mutex fields it
+// acquires anywhere in its body (receiver-qualified, not via nested
+// closures).
+func collectLockSummaries(pass *Pass) map[*types.Func]map[string]bool {
+	out := map[*types.Func]map[string]bool{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recvObj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			var locked map[string]bool
+			inspectShallow(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				// receiver-qualified mutex: recv.<field>.Lock()
+				inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+				if !ok || !isMutexType(pass.TypesInfo.TypeOf(inner)) {
+					return true
+				}
+				if rootObject(pass.TypesInfo, inner.X) != recvObj {
+					return true
+				}
+				if locked == nil {
+					locked = map[string]bool{}
+				}
+				locked[inner.Sel.Name] = true
+				return true
+			})
+			if locked != nil {
+				out[fn] = locked
+			}
+		}
+	}
+	return out
+}
+
+// collectNonBlocking marks channel operations inside select clauses whose
+// select carries a default clause (they never block).
+func collectNonBlocking(pass *Pass) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, c := range sel.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				ast.Inspect(cc.Comm, func(x ast.Node) bool {
+					switch x.(type) {
+					case *ast.SendStmt, *ast.UnaryExpr:
+						out[x] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// freshLocals returns the objects of locals bound to freshly constructed
+// values (&T{...}, T{...}, new(T)): no other goroutine can reference them,
+// so their guarded fields may be touched lock-free.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			fresh := false
+			switch r := rhs.(type) {
+			case *ast.CompositeLit:
+				fresh = true
+			case *ast.UnaryExpr:
+				if r.Op == token.AND {
+					_, isLit := ast.Unparen(r.X).(*ast.CompositeLit)
+					fresh = isLit
+				}
+			case *ast.CallExpr:
+				if fn, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && fn.Name == "new" {
+					if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin {
+						fresh = true
+					}
+				}
+			}
+			if fresh {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// entryLocks builds the entry fact from //rexlint:holds directives on the
+// function's doc comment.
+func (ctx *lockCtx) entryLocks(fd *ast.FuncDecl) lockFact {
+	entry := lockFact{}
+	for _, fields := range funcDirective(fd, "holds") {
+		for _, pathStr := range fields {
+			key, ok := ctx.resolveHolds(fd, pathStr)
+			if !ok {
+				ctx.pass.Reportf(fd.Pos(), "rexlint:holds %s does not name a mutex path on a receiver or parameter", pathStr)
+				continue
+			}
+			entry[key] = lockInfo{pos: fd.Pos(), path: pathStr, fromEntry: true}
+		}
+	}
+	return entry
+}
+
+// resolveHolds maps a textual path like "c.mu" onto the receiver/parameter
+// objects of fd.
+func (ctx *lockCtx) resolveHolds(fd *ast.FuncDecl, path string) (string, bool) {
+	dot := -1
+	for i, r := range path {
+		if r == '.' {
+			dot = i
+			break
+		}
+	}
+	root, rest := path, ""
+	if dot >= 0 {
+		root, rest = path[:dot], path[dot:]
+	}
+	var fieldLists []*ast.FieldList
+	if fd.Recv != nil {
+		fieldLists = append(fieldLists, fd.Recv)
+	}
+	if fd.Type.Params != nil {
+		fieldLists = append(fieldLists, fd.Type.Params)
+	}
+	for _, fl := range fieldLists {
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if name.Name != root {
+					continue
+				}
+				obj := ctx.pass.TypesInfo.Defs[name]
+				if obj == nil {
+					return "", false
+				}
+				return exprKeyForObject(obj) + rest, true
+			}
+		}
+	}
+	return "", false
+}
+
+// exprKeyForObject renders the key root used by exprKey for obj.
+func exprKeyForObject(obj types.Object) string {
+	return fmt.Sprintf("v%p", obj)
+}
+
+// checkFunc runs the lock analysis over one function body.
+func (ctx *lockCtx) checkFunc(fd *ast.FuncDecl, body *ast.BlockStmt) {
+	info := ctx.pass.TypesInfo
+	g := BuildCFG(body, info)
+	entry := lockFact{}
+	if fd != nil {
+		entry = ctx.entryLocks(fd)
+	}
+	must := Forward[lockFact](g, &lockFlow{info: info, entry: entry, must: true})
+	may := Forward[lockFact](g, &lockFlow{info: info, entry: entry, must: false})
+	fresh := freshLocals(info, body)
+
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		fMust, okMust := must.In[b]
+		fMay, okMay := may.In[b]
+		if !okMust || !okMay {
+			continue
+		}
+		for _, n := range b.Nodes {
+			ctx.checkNode(n, fMust, fMay, fresh)
+			fMust = lockTransfer(info, n, fMust)
+			fMay = lockTransfer(info, n, fMay)
+		}
+		// Fall-off-the-end exit: the block reaches Exit without a return
+		// statement, so the leak check above never saw a flow-exit node.
+		if blockFallsToExit(g, b, info) {
+			ctx.reportLeaks(fMay)
+		}
+	}
+}
+
+// reportLeaks flags every may-held, non-deferred, non-entry lock once.
+func (ctx *lockCtx) reportLeaks(fMay lockFact) {
+	for _, li := range fMay {
+		if li.deferred || li.fromEntry || ctx.leakReported[li.pos] {
+			continue
+		}
+		ctx.leakReported[li.pos] = true
+		ctx.pass.Reportf(li.pos, "%s.Lock() may still be held at a return or panic (missing Unlock or defer on some path)", li.path)
+	}
+}
+
+// checkNode applies the three lock checks at one straight-line node.
+func (ctx *lockCtx) checkNode(n ast.Node, fMust, fMay lockFact, fresh map[types.Object]bool) {
+	info := ctx.pass.TypesInfo
+
+	// 1. Guarded-field accesses need the mutex must-held.
+	forEachAccess(n, func(sel *ast.SelectorExpr, write bool) {
+		selection := info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		mu, guarded := ctx.guarded[selection.Obj()]
+		if !guarded {
+			return
+		}
+		baseKey, ok := exprKey(info, sel.X)
+		if !ok {
+			return
+		}
+		if fresh[rootObject(info, sel.X)] {
+			return // freshly constructed: not yet shared
+		}
+		required := baseKey + "." + mu
+		li, held := fMust[required]
+		lockPath := renderPath(sel.X) + "." + mu
+		if !held {
+			ctx.pass.Reportf(sel.Pos(), "access to %s.%s (guarded by %s) without holding %s on every path",
+				renderPath(sel.X), sel.Sel.Name, mu, lockPath)
+			return
+		}
+		if write && li.read {
+			ctx.pass.Reportf(sel.Pos(), "write to %s.%s while %s is only read-locked (RLock)",
+				renderPath(sel.X), sel.Sel.Name, lockPath)
+		}
+	})
+
+	// 2. Lock leaks: a return/panic reached while a lock may be held with
+	// no deferred release.
+	if isFlowExit(info, n) {
+		ctx.reportLeaks(fMay)
+	}
+
+	// 3. Blocking operations while a lock is must-held.
+	if len(fMust) == 0 {
+		return
+	}
+	anyLock := func() string {
+		for _, li := range fMust {
+			return li.path
+		}
+		return "a lock"
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		switch op := x.(type) {
+		case *ast.SendStmt:
+			if !ctx.nonBlocking[x] {
+				ctx.pass.Reportf(op.Arrow, "channel send while holding %s may block under the lock", anyLock())
+			}
+		case *ast.UnaryExpr:
+			if op.Op == token.ARROW && !ctx.nonBlocking[x] {
+				ctx.pass.Reportf(op.OpPos, "channel receive while holding %s may block under the lock", anyLock())
+			}
+		case *ast.CallExpr:
+			ctx.checkBlockingCall(op, fMust)
+		}
+		return true
+	})
+}
+
+// checkBlockingCall flags WaitGroup.Wait and self-deadlocking method calls
+// under a held lock.
+func (ctx *lockCtx) checkBlockingCall(call *ast.CallExpr, fMust lockFact) {
+	info := ctx.pass.TypesInfo
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if sel.Sel.Name == "Wait" {
+		if t := info.TypeOf(sel.X); t != nil {
+			if p, okp := t.(*types.Pointer); okp {
+				t = p.Elem()
+			}
+			if named, okn := t.(*types.Named); okn && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+				var anyPath string
+				for _, li := range fMust {
+					anyPath = li.path
+					break
+				}
+				ctx.pass.Reportf(call.Pos(), "sync.WaitGroup.Wait while holding %s blocks under the lock", anyPath)
+				return
+			}
+		}
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	lockedFields := ctx.summaries[fn]
+	if lockedFields == nil {
+		return
+	}
+	baseKey, okKey := exprKey(info, sel.X)
+	if !okKey {
+		return
+	}
+	for mf := range lockedFields {
+		required := baseKey + "." + mf
+		if li, held := fMust[required]; held && !li.read {
+			ctx.pass.Reportf(call.Pos(), "call to %s while holding %s: the callee locks the same mutex (self-deadlock)",
+				sel.Sel.Name, li.path)
+		}
+	}
+}
+
+// isFlowExit reports whether node n terminates the function's flow: a
+// return statement or a call that never returns (panic, os.Exit, ...).
+func isFlowExit(info *types.Info, n ast.Node) bool {
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			b := &builder{info: info}
+			return b.neverReturns(call)
+		}
+	}
+	return false
+}

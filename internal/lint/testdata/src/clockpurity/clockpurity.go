@@ -1,0 +1,70 @@
+// Fixture for the clockpurity analyzer: direct wall-clock reads and
+// stored-then-called time functions are flagged; Clock implementations
+// and code that merely handles time values are not.
+package clockpurity
+
+import "time"
+
+// Clock is the injection seam for time in this fixture, mirroring
+// ctl.Clock.
+type Clock interface {
+	Now() float64
+	Sleep(d float64)
+}
+
+// WallClock is the one legitimate wall-time sink: it implements Clock.
+type WallClock struct{}
+
+func (WallClock) Now() float64 {
+	return float64(time.Now().UnixNano()) // exempt: Clock implementation
+}
+
+func (WallClock) Sleep(d float64) {
+	time.Sleep(time.Duration(d)) // exempt: Clock implementation
+}
+
+// NewWallClock is exempt through its result type.
+func NewWallClock() Clock {
+	_ = time.Now()
+	return WallClock{}
+}
+
+func bad() int64 {
+	return time.Now().UnixNano() // want `time\.Now bypasses the Clock seam`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep bypasses the Clock seam`
+}
+
+func badStored() int64 {
+	now := time.Now
+	return now().UnixNano() // want `call of now \(holds time\.Now\) bypasses the Clock seam`
+}
+
+// badBranch may still hold time.Now on the fall-through path.
+func badBranch(b bool) time.Time {
+	f := time.Now
+	if b {
+		f = func() time.Time { return time.Time{} }
+	}
+	return f() // want `call of f \(holds time\.Now\) bypasses the Clock seam`
+}
+
+// okReassigned overwrites the stored clock on every path before calling.
+func okReassigned() time.Time {
+	now := time.Now
+	now = func() time.Time { return time.Time{} }
+	return now()
+}
+
+// okHandlesTime manipulates time values without reading the ambient
+// clock.
+func okHandlesTime(d time.Duration, t time.Time) time.Time {
+	return t.Add(d * 2)
+}
+
+// okClockUse reads time through the seam.
+func okClockUse(c Clock) float64 {
+	return c.Now()
+}

@@ -39,3 +39,30 @@ func good(f *os.File) string {
 func ignored() {
 	mayFail() //rexlint:ignore errignore best-effort cleanup
 }
+
+// journal mimics obs.Journal: Close/Err/Flush report a sticky error
+// accumulated by earlier operations, so discarding them loses failures.
+type journal struct{ err error }
+
+func (j *journal) Close() error { return j.err }
+func (j *journal) Err() error   { return j.err }
+func (j *journal) Flush() error { return j.err }
+func (j *journal) reset() error { return nil }
+
+func stickyBad(j *journal) {
+	j.Close()       // want `error result of j\.Close is silently dropped`
+	_ = j.Err()     // want `sticky error of j\.Err is discarded with _ =`
+	defer j.Flush() // want `deferred j\.Flush discards its sticky error`
+}
+
+// stickyGood folds the sticky close error into the named return; the
+// non-sticky reset keeps the relaxed `_ =` rule.
+func stickyGood(j *journal) (err error) {
+	defer func() {
+		if cerr := j.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_ = j.reset() // near miss: reset is not a sticky method
+	return nil
+}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"io"
+	"sync"
 
 	"rexchange/internal/obs"
 	"rexchange/internal/vec"
@@ -25,6 +26,9 @@ type Collector struct {
 	cv        *obs.Gauge
 	gini      *obs.Gauge
 	pressure  *obs.GaugeVec
+
+	mu   sync.Mutex
+	last Report // guarded by: mu
 }
 
 // NewCollector registers the balance-report families on reg.
@@ -45,8 +49,12 @@ func NewCollector(reg *obs.Registry) *Collector {
 }
 
 // Set republishes r onto the registered gauges. Safe for concurrent use
-// with renders; each gauge updates atomically.
+// with renders; each gauge updates atomically, and the full report is
+// retained for Last.
 func (c *Collector) Set(r Report) {
+	c.mu.Lock()
+	c.last = r
+	c.mu.Unlock()
 	c.machines.Set(float64(r.Machines))
 	c.vacant.Set(float64(r.Vacant))
 	if r.Machines > 0 {
@@ -68,6 +76,15 @@ func (c *Collector) Set(r Report) {
 	for res := 0; res < vec.NumResources; res++ {
 		c.pressure.With(vec.Resource(res).String()).Set(r.StaticPressure[res])
 	}
+}
+
+// Last returns the most recent report passed to Set — the typed
+// counterpart of scraping the gauges, useful for handlers that want the
+// structured Report without recomputing it.
+func (c *Collector) Last() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
 }
 
 // WritePrometheus emits the report in the Prometheus text exposition format

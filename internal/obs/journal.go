@@ -68,9 +68,9 @@ type Event struct {
 // event, so instrumented code paths never branch on telemetry failures.
 type Journal struct {
 	mu  sync.Mutex
-	w   io.Writer
-	n   int
-	err error
+	w   io.Writer // guarded by: mu
+	n   int       // guarded by: mu
+	err error     // guarded by: mu
 }
 
 // NewJournal wraps w. The caller owns closing any underlying file; Close
@@ -110,6 +110,14 @@ func (j *Journal) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Close surfaces the sticky error state. It does not close the underlying
+// writer — the caller owns that — but callers that tear a journal down
+// should check this result: it is the only place the deferred write
+// failures ever become visible.
+func (j *Journal) Close() error {
+	return j.Err()
 }
 
 // ReadJournal parses a JSONL event stream. It fails on the first

@@ -101,7 +101,7 @@ type family struct {
 	bounds []float64 // histogram bucket upper bounds
 
 	mu       sync.Mutex
-	children map[string]*child
+	children map[string]*child // guarded by: mu
 }
 
 // newChild creates the typed series for the family kind.
@@ -143,7 +143,7 @@ func (f *family) get(vals []string) *child {
 // identity is a build-time property, not a runtime condition.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // guarded by: mu
 }
 
 // NewRegistry returns an empty registry.
