@@ -1,8 +1,9 @@
 // Command rexlint is the project's static-analysis gate: a multichecker
 // over the custom go/analysis-style suite in internal/lint. It typechecks
 // the requested packages from source (module-local and standard-library
-// imports only — this module has no external dependencies by policy) and
-// reports determinism and correctness hazards:
+// imports only — this module has no external dependencies by policy),
+// builds the module-local call graph and interprocedural function
+// summaries, and reports determinism and correctness hazards:
 //
 //	noglobalrand  global math/rand use (breaks seed reproducibility)
 //	maporder      order-dependent slices built from map iteration
@@ -10,18 +11,33 @@
 //	errignore     dropped error returns, incl. sticky Close/Err/Flush results
 //	metricname    Prometheus naming conventions on obs registrations
 //	lockcheck     guarded-by annotations: unlocked access, lock leaks,
-//	              blocking calls under a lock (CFG + dataflow)
+//	              blocking calls under a lock — including callees that block
+//	              or unlock deeper in the call graph (CFG + dataflow)
 //	statecheck    declared state-machine transitions and acquire/release
 //	              pairing of declared resources along all paths
 //	clockpurity   wall-clock access outside the ctl.Clock seam, including
-//	              stored-then-called time functions (flow-sensitive)
+//	              stored-then-called time functions and module-local callees
+//	              that hide a clock read (flow-sensitive + summaries)
 //	leakcheck     goroutines with no reachable termination path
+//	sharecheck    single-owner discipline for //rexlint:owned types: an
+//	              owned value may not escape to a goroutine, channel,
+//	              global, or second owner without a //rexlint:transfer
+//	alloccheck    //rexlint:noalloc functions proven allocation-free on
+//	              every path, through every module-local callee
+//	purity        //rexlint:pure functions proven free of side effects by
+//	              bottom-up effect summaries
+//
+// Unused //rexlint:ignore and //rexlint:transfer directives are themselves
+// errors (pseudo-analyzers "rexlint" and "sharecheck"), so stale waivers
+// cannot outlive the finding they excused.
 //
 // Usage:
 //
 //	go run ./cmd/rexlint ./...
 //	go run ./cmd/rexlint -tags debugasserts ./...
 //	go run ./cmd/rexlint -json ./internal/core ./internal/plan
+//	go run ./cmd/rexlint -changed            # only packages touched vs origin/main
+//	go run ./cmd/rexlint -baseline lint.baseline ./...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 // Suppress a finding with a trailing or preceding comment:
@@ -34,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -44,12 +61,29 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	tags := flag.String("tags", "", "comma-separated build tags for module file selection (e.g. debugasserts)")
+	changed := flag.Bool("changed", false, "lint only packages with files differing from the base ref (summaries still span the whole module)")
+	changedBase := flag.String("changed-base", "origin/main", "base ref for -changed")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted diagnostics; only findings not in it fail the run")
+	writeBaseline := flag.String("write-baseline", "", "write current diagnostics to this baseline file and exit 0")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rexlint [-list] [-json] [-tags t1,t2] <package patterns>\nexample: go run ./cmd/rexlint ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: rexlint [-list] [-json] [-tags t1,t2] [-changed [-changed-base ref]] [-baseline file] [-write-baseline file] <package patterns>\nexample: go run ./cmd/rexlint ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*list, *jsonOut, *tags, flag.Args()))
+	os.Exit(run(options{
+		list: *list, jsonOut: *jsonOut, tags: *tags,
+		changed: *changed, changedBase: *changedBase,
+		baselinePath: *baselinePath, writeBaseline: *writeBaseline,
+	}, flag.Args()))
+}
+
+type options struct {
+	list, jsonOut bool
+	tags          string
+	changed       bool
+	changedBase   string
+	baselinePath  string
+	writeBaseline string
 }
 
 // jsonDiag is the machine-readable diagnostic record emitted by -json.
@@ -61,7 +95,7 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
-func run(list, jsonOut bool, tags string, patterns []string) int {
+func run(opts options, patterns []string) int {
 	modDir, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rexlint:", err)
@@ -72,11 +106,11 @@ func run(list, jsonOut bool, tags string, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "rexlint:", err)
 		return 2
 	}
-	if tags != "" {
-		loader.SetBuildTags(strings.Split(tags, ","))
+	if opts.tags != "" {
+		loader.SetBuildTags(strings.Split(opts.tags, ","))
 	}
 	analyzers := lint.Analyzers(loader.ModPath)
-	if list {
+	if opts.list {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
@@ -85,48 +119,137 @@ func run(list, jsonOut bool, tags string, patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if opts.changed {
+		// Summaries must still span the whole module — a changed callee
+		// can invalidate an unchanged caller's noalloc or purity proof —
+		// so load everything and restrict only the analyzed set below.
+		patterns = []string{"./..."}
+	}
 	pkgs, err := loader.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rexlint:", err)
 		return 2
 	}
-	var all []jsonDiag
+
+	if opts.changed {
+		dirs, err := changedDirs(modDir, opts.changedBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rexlint: -changed: %v; linting everything\n", err)
+		} else {
+			var kept []*lint.Package
+			for _, pkg := range pkgs {
+				if dirs[pkg.Dir] {
+					kept = append(kept, pkg)
+				}
+			}
+			pkgs = kept
+			if len(pkgs) == 0 {
+				fmt.Fprintf(os.Stderr, "rexlint: no packages changed vs %s\n", opts.changedBase)
+				return 0
+			}
+		}
+	}
+
+	// One interprocedural program over every package the loader
+	// typechecked (a superset of the analyzed patterns), so call-graph
+	// facts cross package boundaries.
+	prog := lint.NewProgram(loader.Packages())
+
+	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		diags, err := lint.RunAnalyzersIn(prog, pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rexlint:", err)
 			return 2
 		}
 		for _, d := range diags {
-			pos := d.Pos
-			if rel, err := filepath.Rel(modDir, pos.Filename); err == nil {
-				pos.Filename = rel
+			if rel, err := filepath.Rel(modDir, d.Pos.Filename); err == nil {
+				d.Pos.Filename = rel
 			}
-			all = append(all, jsonDiag{
-				File: pos.Filename, Line: pos.Line, Column: pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
-			})
+			all = append(all, d)
 		}
 	}
-	if jsonOut {
+
+	if opts.writeBaseline != "" {
+		f, err := os.Create(opts.writeBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexlint:", err)
+			return 2
+		}
+		werr := lint.WriteBaseline(f, all)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "rexlint:", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "rexlint: wrote %d accepted diagnostics to %s\n", len(all), opts.writeBaseline)
+		return 0
+	}
+	if opts.baselinePath != "" {
+		base, err := lint.LoadBaseline(opts.baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rexlint:", err)
+			return 2
+		}
+		fresh, absorbed := base.Filter(all)
+		if absorbed > 0 {
+			fmt.Fprintf(os.Stderr, "rexlint: %d diagnostics absorbed by baseline %s\n", absorbed, opts.baselinePath)
+		}
+		all = fresh
+	}
+
+	out := make([]jsonDiag, 0, len(all))
+	for _, d := range all {
+		out = append(out, jsonDiag{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	if opts.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if all == nil {
-			all = []jsonDiag{}
-		}
-		if err := enc.Encode(all); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "rexlint:", err)
 			return 2
 		}
 	} else {
-		for _, d := range all {
+		for _, d := range out {
 			fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Analyzer)
 		}
 	}
-	if len(all) > 0 {
+	if len(out) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// changedDirs reports the set of absolute package directories containing
+// .go files that differ from base: committed changes (base...HEAD), the
+// working tree, and untracked files all count.
+func changedDirs(modDir, base string) (map[string]bool, error) {
+	var files []string
+	for _, args := range [][]string{
+		{"diff", "--name-only", base, "--", "*.go"},
+		{"ls-files", "--others", "--exclude-standard", "--", "*.go"},
+	} {
+		cmd := exec.Command("git", append([]string{"-C", modDir}, args...)...)
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("git %s: %v", strings.Join(args, " "), err)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				files = append(files, line)
+			}
+		}
+	}
+	dirs := make(map[string]bool)
+	for _, f := range files {
+		dirs[filepath.Join(modDir, filepath.Dir(f))] = true
+	}
+	return dirs, nil
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

@@ -15,7 +15,12 @@ import (
 // are O(1); Clone is O(shards + machines). Speculative mutation batches can
 // be undone in O(mutations) via the BeginTxn/Commit/Rollback journal
 // (txn.go) instead of cloning. Placement is not safe for concurrent
-// mutation; parallel searches clone first.
+// mutation; parallel searches clone first. That single-owner discipline is
+// machine-checked: rexlint's sharecheck analyzer forbids a Placement from
+// escaping to a goroutine, channel, global, or second owner unless the
+// hand-off site carries a reviewed //rexlint:transfer annotation.
+//
+//rexlint:owned
 type Placement struct {
 	c    *Cluster
 	home []MachineID // per shard; Unassigned while removed

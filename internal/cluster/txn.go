@@ -47,10 +47,14 @@ func (p *Placement) InTxn() bool { return p.txnActive }
 // committed) scope. Together with TxnOp it lets callers maintain derived
 // incremental state over exactly the shards and machines a neighborhood
 // touched, without allocating.
+//
+//rexlint:noalloc
 func (p *Placement) TxnLen() int { return len(p.txnLog) }
 
 // TxnOp returns the shard and machine touched by journaled mutation i
 // (0 ≤ i < TxnLen), in application order.
+//
+//rexlint:noalloc
 func (p *Placement) TxnOp(i int) (ShardID, MachineID) {
 	r := &p.txnLog[i]
 	return r.s, r.m
@@ -58,6 +62,8 @@ func (p *Placement) TxnOp(i int) (ShardID, MachineID) {
 
 // Commit closes the undo scope keeping every mutation. O(1): the journal is
 // simply discarded (its backing array is retained for reuse).
+//
+//rexlint:noalloc
 func (p *Placement) Commit() {
 	if !p.txnActive {
 		panic("cluster: Commit without BeginTxn")
@@ -71,6 +77,8 @@ func (p *Placement) Commit() {
 // aggregate floats are bit-identical and per-machine shard order is
 // preserved, so a rolled-back iteration is indistinguishable from one that
 // restored a clone. Cost is O(mutations in the scope).
+//
+//rexlint:noalloc
 func (p *Placement) Rollback() {
 	if !p.txnActive {
 		panic("cluster: Rollback without BeginTxn")
@@ -119,9 +127,11 @@ func (p *Placement) undoUnplace(r *txnRec) {
 	n := len(p.on[r.m])
 	if r.pos == n {
 		// s was the last element; the swap was a self-swap
+		//rexlint:ignore alloccheck append restores an element just removed; capacity is never exceeded
 		p.on[r.m] = append(p.on[r.m], r.s)
 	} else {
 		moved := p.on[r.m][r.pos]
+		//rexlint:ignore alloccheck append restores an element just removed; capacity is never exceeded
 		p.on[r.m] = append(p.on[r.m], moved)
 		p.pos[moved] = n
 		p.on[r.m][r.pos] = r.s
@@ -135,6 +145,7 @@ func (p *Placement) undoUnplace(r *txnRec) {
 	p.load[r.m] = r.prevLoad
 	if g := p.c.Shards[r.s].Group; g != 0 {
 		if p.groups[r.m] == nil {
+			//rexlint:ignore alloccheck rare revival of a deleted group map; steady-state rollbacks do not reach this
 			p.groups[r.m] = make(map[int]int)
 		}
 		p.groups[r.m][g]++

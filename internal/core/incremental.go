@@ -74,6 +74,8 @@ func (st *state) initIncremental() {
 
 // rescanMax recomputes the lazy maximum with the same comparison sequence
 // as the reference objective (zero start, strict greater-than).
+//
+//rexlint:noalloc
 func (o *objState) rescanMax() {
 	maxU, maxM := 0.0, -1
 	for m, v := range o.u {
@@ -88,6 +90,8 @@ func (o *objState) rescanMax() {
 // and folds it into the lazy maximum. Idempotent: refreshing a machine
 // twice with unchanged load is a no-op, so callers may replay a journal
 // with duplicate machine entries.
+//
+//rexlint:noalloc
 func (st *state) refreshMachine(m cluster.MachineID) {
 	var u float64
 	if !st.cur.IsVacant(m) {
@@ -107,6 +111,8 @@ func (st *state) refreshMachine(m cluster.MachineID) {
 
 // refreshShard re-derives shard s's moved flag, adjusting the count.
 // Idempotent like refreshMachine.
+//
+//rexlint:noalloc
 func (st *state) refreshShard(s cluster.ShardID) {
 	now := st.cur.Home(s) != st.initial[s]
 	o := &st.obj
@@ -123,10 +129,13 @@ func (st *state) refreshShard(s cluster.ShardID) {
 // syncTouched snapshots the active journal's (shard, machine) pairs into
 // st.touched and refreshes the derived state for each. Called after a
 // successful repair, before evaluating the neighborhood.
+//
+//rexlint:noalloc
 func (st *state) syncTouched() {
 	st.touched = st.touched[:0]
 	for i, n := 0, st.cur.TxnLen(); i < n; i++ {
 		s, m := st.cur.TxnOp(i)
+		//rexlint:ignore alloccheck amortized growth of a reused buffer; steady state stays within capacity
 		st.touched = append(st.touched, touchRec{s: s, m: m})
 	}
 	for _, t := range st.touched {
@@ -146,6 +155,8 @@ func (st *state) saveObjState() {
 // placement journal is rolled back, the lazy maximum restored from its
 // transaction-start snapshot, and every touched entity re-derived from the
 // (bit-exactly restored) placement.
+//
+//rexlint:noalloc
 func (st *state) rollbackIncremental() {
 	st.cur.Rollback()
 	st.obj.maxU, st.obj.maxM, st.obj.maxDirty = st.savedMaxU, st.savedMaxM, st.savedMaxDirty
@@ -158,6 +169,8 @@ func (st *state) rollbackIncremental() {
 // evalIncremental returns the solver objective of the current placement,
 // bit-identical to objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty,
 // st.initial) but without rescanning shards or dividing per machine.
+//
+//rexlint:noalloc
 func (st *state) evalIncremental() float64 {
 	o := &st.obj
 	if o.maxDirty {

@@ -14,7 +14,10 @@ import (
 // IP objective T; the RMS term orders solutions with equal maxima by how
 // evenly the remaining load is spread; the move term charges reassignment
 // volume relative to initial (nil initial disables it). Vacant machines
-// serve nothing and are excluded.
+// serve nothing and are excluded. The solver evaluates it on every
+// accepted iteration, so its freedom from side effects is machine-checked.
+//
+//rexlint:pure
 func objective(p *cluster.Placement, spreadWeight, movePenalty float64, initial []cluster.MachineID) float64 {
 	c := p.Cluster()
 	maxU := 0.0

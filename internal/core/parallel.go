@@ -37,6 +37,7 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < restarts; i++ {
 		wg.Add(1)
+		//rexlint:transfer workers read p only; Solve clones before mutating (newState)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}

@@ -153,6 +153,7 @@ func (st *state) run() {
 	st.curObj = objective(st.cur, cfg.SpreadWeight, cfg.MovePenalty, st.initial)
 	st.best = st.cur.Clone()
 	st.bestObj = st.curObj
+	//rexlint:transfer best snapshots are frozen once recorded; only st.cur is ever mutated
 	st.improving = append(st.improving, st.best)
 	if !cfg.refKernel {
 		st.initIncremental()
@@ -213,6 +214,7 @@ func (st *state) run() {
 			// Discard the neighborhood. The incremental objective state
 			// was not synced yet, so rolling the placement back is enough.
 			if cfg.refKernel {
+				//rexlint:transfer reference-kernel restore: snap becomes the sole owner, the mutated copy is discarded
 				st.cur = snap
 			} else {
 				st.cur.Rollback()
@@ -252,6 +254,7 @@ func (st *state) run() {
 				case newObj < st.bestObj-1e-12:
 					st.best = st.cur.Clone()
 					st.bestObj = newObj
+					//rexlint:transfer best snapshots are frozen once recorded; only st.cur is ever mutated
 					st.improving = append(st.improving, st.best)
 					reward = 3
 					outcome = iterIdxNewBest
@@ -265,6 +268,7 @@ func (st *state) run() {
 			} else {
 				outcome = iterIdxRejected
 				if cfg.refKernel {
+					//rexlint:transfer reference-kernel restore: snap becomes the sole owner, the mutated copy is discarded
 					st.cur = snap
 				} else {
 					st.rollbackIncremental()

@@ -370,6 +370,7 @@ func (c *Controller) applyLoads(loads []float64) error {
 	if err != nil {
 		return fmt.Errorf("ctl: rebuild placement: %w", err)
 	}
+	//rexlint:transfer np was built fresh above; the controller takes sole ownership
 	c.live = np
 	return nil
 }
@@ -403,6 +404,7 @@ func (c *Controller) solveRound(stat *RoundStat) {
 		scfg.Recorder = c.recorder
 	}
 	wallStart := time.Now() //rexlint:ignore clockpurity wall time feeds metrics only, never decisions
+	//rexlint:transfer planning is the controller's private clone; the live placement stays behind the mutex
 	res, err := core.New(scfg).SolveParallel(planning, c.cfg.Budget.Restarts)
 	if c.m != nil {
 		// Wall time feeds metrics only; the journal sticks to Clock

@@ -22,6 +22,12 @@ import "strings"
 //     wall time must enter through the ctl.Clock seam only.
 //   - leakcheck guards the long-running control plane (ctl and the
 //     commands), where an unstoppable goroutine defeats shutdown.
+//   - sharecheck guards the packages that handle cluster.Placement and the
+//     partition views built on it (core, cluster, ctl, sim): the
+//     single-owner contract the partitioned parallel solver depends on.
+//   - alloccheck and purity guard the whole module: both activate only on
+//     functions that opt in via //rexlint:noalloc / //rexlint:pure, so
+//     un-annotated packages cost nothing.
 //
 // The scope lives here, in the driver policy, rather than inside the
 // analyzers, so the test harness can exercise each analyzer on fixtures
@@ -80,8 +86,24 @@ func Analyzers(modPath string) []*Analyzer {
 	leakCheck := *LeakCheck
 	leakCheck.AppliesTo = inModule("/internal/ctl", "/cmd")
 
+	shareCheck := *ShareCheck
+	shareCheck.AppliesTo = inModule(
+		"/internal/core", "/internal/cluster", "/internal/ctl", "/internal/sim",
+	)
+
+	allocCheck := *AllocCheck
+	allocCheck.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
+	purity := *Purity
+	purity.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
 	return []*Analyzer{
 		&noGlobalRand, &mapOrder, &floatEq, &errIgnore, &metricName,
 		&lockCheck, &stateCheck, &clockPurity, &leakCheck,
+		&shareCheck, &allocCheck, &purity,
 	}
 }

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a ratchet: a set of accepted pre-existing diagnostics that a
+// run may report without failing, so a new analyzer can land before every
+// legacy finding is fixed. Entries are keyed by file, analyzer, and message
+// — deliberately not by line number, so unrelated edits that shift code do
+// not invalidate the baseline. Duplicate findings are tracked by count: a
+// baseline with two entries for the same key absorbs at most two matching
+// diagnostics, and any excess surfaces as new.
+//
+// The interchange format is one tab-separated record per line:
+//
+//	file<TAB>analyzer<TAB>message
+//
+// with '#'-prefixed comment lines and blank lines ignored. Filenames are
+// stored as written by the caller (rexlint writes them module-relative).
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey canonicalizes one diagnostic for baseline matching.
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: the
+// caller asked to ratchet against something that does not exist.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}
+
+// ReadBaseline parses the baseline interchange format from r.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want file<TAB>analyzer<TAB>message, got %q", lineNo, line)
+		}
+		b.counts[baselineKey(parts[0], parts[1], parts[2])]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteBaseline emits diags in the baseline interchange format, sorted so
+// the file is diff-stable across runs.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		msg := strings.ReplaceAll(d.Message, "\t", " ")
+		lines = append(lines, d.Pos.Filename+"\t"+d.Analyzer+"\t"+msg)
+	}
+	sort.Strings(lines)
+	if _, err := fmt.Fprintln(w, "# rexlint baseline: accepted diagnostics (file, analyzer, message)."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Shrink this file; never grow it."); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter partitions diags into those not absorbed by the baseline (returned
+// in order) and reports how many were absorbed. Each baseline entry absorbs
+// at most its recorded count of matching diagnostics.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, absorbed int) {
+	if b == nil {
+		return diags, 0
+	}
+	remaining := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		msg := strings.ReplaceAll(d.Message, "\t", " ")
+		k := baselineKey(d.Pos.Filename, d.Analyzer, msg)
+		if remaining[k] > 0 {
+			remaining[k]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, absorbed
+}

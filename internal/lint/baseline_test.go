@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func bdiag(file, analyzer, msg string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+// TestBaselineRoundTrip pins the ratchet semantics: a written baseline
+// absorbs exactly the diagnostics it recorded — matched by file, analyzer,
+// and message but not line, and duplicates only up to their count — while
+// anything new stays fatal.
+func TestBaselineRoundTrip(t *testing.T) {
+	accepted := []Diagnostic{
+		bdiag("a.go", "alloccheck", "allocates: make", 10),
+		bdiag("a.go", "alloccheck", "allocates: make", 20), // same key twice
+		bdiag("b.go", "purity", "mutates its receiver", 5),
+	}
+	var buf strings.Builder
+	if err := WriteBaseline(&buf, accepted); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	current := []Diagnostic{
+		bdiag("a.go", "alloccheck", "allocates: make", 14),        // drifted line: absorbed
+		bdiag("a.go", "alloccheck", "allocates: make", 99),        // second duplicate: absorbed
+		bdiag("a.go", "alloccheck", "allocates: make", 120),       // third occurrence: fresh
+		bdiag("b.go", "purity", "mutates its receiver", 5),        // absorbed
+		bdiag("c.go", "sharecheck", "captured by a goroutine", 3), // new file: fresh
+	}
+	fresh, absorbed := base.Filter(current)
+	if absorbed != 3 {
+		t.Errorf("absorbed = %d, want 3", absorbed)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want 2 entries", fresh)
+	}
+	if fresh[0].Pos.Line != 120 || fresh[1].Pos.Filename != "c.go" {
+		t.Errorf("fresh = %v, want the third duplicate and the c.go finding", fresh)
+	}
+
+	// A nil baseline is a no-op filter.
+	var nilBase *Baseline
+	fresh, absorbed = nilBase.Filter(current)
+	if absorbed != 0 || len(fresh) != len(current) {
+		t.Errorf("nil baseline filtered: fresh=%d absorbed=%d", len(fresh), absorbed)
+	}
+}
+
+// TestBaselineRejectsMalformedLines pins that a corrupt baseline fails
+// loudly instead of silently accepting everything.
+func TestBaselineRejectsMalformedLines(t *testing.T) {
+	_, err := ReadBaseline(strings.NewReader("# comment ok\n\nnot a record\n"))
+	if err == nil || !strings.Contains(err.Error(), "baseline line 3") {
+		t.Fatalf("err = %v, want malformed-line error naming line 3", err)
+	}
+}

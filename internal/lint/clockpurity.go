@@ -158,7 +158,50 @@ func runClockPurity(pass *Pass) error {
 			checkClockPurity(pass, body)
 		})
 	}
+	checkHiddenClockReads(pass)
 	return nil
+}
+
+// checkHiddenClockReads is the interprocedural half: a call to a
+// module-local function whose summary says it reads the wall clock —
+// directly or through further callees — is flagged at the call site with
+// the chain to the root read. Clock implementations are exempt as callers,
+// and waived leaf sites never enter summaries, so a reviewed
+// //rexlint:ignore on the root read blesses every caller.
+func checkHiddenClockReads(pass *Pass) {
+	prog := pass.Prog
+	for _, node := range prog.NodesOf(pass.pkg()) {
+		if clockExemptNode(node) {
+			continue
+		}
+		for _, site := range prog.EffectiveCalls(node) {
+			for _, callee := range site.Callees {
+				sum := prog.SummaryOf(callee)
+				if sum.Mask&EffClock == 0 {
+					continue
+				}
+				what, at := "a wall-clock read", ""
+				if sum.Clock != nil {
+					what = sum.Clock.What
+					at = " at " + pass.Fset.Position(sum.Clock.Pos).String()
+				}
+				pass.Reportf(site.Pos, "call of %s hides %s%s%s; inject a ctl.Clock instead",
+					callee.Name(), what, at, sum.Clock.Chain())
+				break
+			}
+		}
+	}
+}
+
+// clockExemptNode extends the FuncDecl exemption to literals nested inside
+// exempt declarations.
+func clockExemptNode(n *FuncNode) bool {
+	for ; n != nil; n = n.Enclosing {
+		if n.ClockExempt {
+			return true
+		}
+	}
+	return false
 }
 
 // findClockInterface resolves the Clock seam interface: a package-local

@@ -23,6 +23,9 @@ func TestAnalyzers(t *testing.T) {
 		{lint.ClockPurity, "clockpurity"},
 		{lint.StateCheck, "statecheck"},
 		{lint.LeakCheck, "leakcheck"},
+		{lint.ShareCheck, "sharecheck"},
+		{lint.AllocCheck, "alloccheck"},
+		{lint.Purity, "purity"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -65,6 +68,13 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"leakcheck", "rexchange/internal/ctl", true},
 		{"leakcheck", "rexchange/cmd/rexd", true},
 		{"leakcheck", "rexchange/internal/core", false},
+		{"sharecheck", "rexchange/internal/core", true},
+		{"sharecheck", "rexchange/internal/cluster", true},
+		{"sharecheck", "rexchange/internal/lint", false},
+		{"alloccheck", "rexchange/internal/cluster", true},
+		{"alloccheck", "rexchange/cmd/rexd", true},
+		{"purity", "rexchange/internal/vec", true},
+		{"purity", "rexchange/internal/obs", true},
 	}
 	for _, tc := range cases {
 		a, ok := byName[tc.analyzer]

@@ -46,34 +46,58 @@ type Loader struct {
 
 	fset   *token.FileSet
 	ctx    build.Context
+	std    *stdCache
 	pkgs   map[string]*Package
 	parsed map[string][]*ast.File // dir → parsed files (expand + load share one parse)
 }
 
-// stdCache is the process-wide cache of typechecked standard-library (and
-// $GOROOT/src/vendor) packages. It deliberately uses its own FileSet and
-// the default build context: stdlib sources never carry module build tags,
-// so Loaders with different -tags settings can safely share one cache, and
-// positions inside imported packages are never rendered in diagnostics.
-// One coarse mutex serializes stdlib typechecking; recursive imports go
-// through loadStdLocked directly so the lock is taken only at the
-// outermost entry.
-var stdCache = struct {
+// stdCache is one process-wide cache of typechecked standard-library (and
+// $GOROOT/src/vendor) packages for one build-tag set. It uses its own
+// FileSet (positions inside imported packages are never rendered in
+// diagnostics). One coarse mutex serializes stdlib typechecking; recursive
+// imports go through loadStdLocked directly so the lock is taken only at
+// the outermost entry.
+type stdCache struct {
 	mu   sync.Mutex
 	fset *token.FileSet
 	ctx  build.Context
 	pkgs map[string]*types.Package
-}{
-	fset: token.NewFileSet(),
-	ctx:  defaultStdContext(),
-	pkgs: make(map[string]*types.Package),
 }
 
-// defaultStdContext is the fixed build context of the shared stdlib cache.
-func defaultStdContext() build.Context {
+// stdCaches holds one stdCache per build-tag key. Caches are keyed by the
+// tags they were typechecked under: a `rexlint -tags debugasserts ./...`
+// run after a default run must not reuse facts selected without the tag
+// (stdlib file selection honors build constraints — netgo, purego, and
+// friends — so sharing a cache across tag sets would be unsound even
+// though this module's own tags never appear in GOROOT sources). Loaders
+// with the same tag set still share one cache, so a whole-repo run pays
+// for a single GOROOT pass per build mode.
+var stdCaches = struct {
+	mu    sync.Mutex
+	byKey map[string]*stdCache
+}{byKey: make(map[string]*stdCache)}
+
+// stdCacheFor returns the shared stdlib cache for the given build tags,
+// creating it on first use. The key is order-insensitive.
+func stdCacheFor(tags []string) *stdCache {
+	sorted := append([]string(nil), tags...)
+	sort.Strings(sorted)
+	key := strings.Join(sorted, ",")
+	stdCaches.mu.Lock()
+	defer stdCaches.mu.Unlock()
+	if c, ok := stdCaches.byKey[key]; ok {
+		return c
+	}
 	ctx := build.Default
 	ctx.CgoEnabled = false
-	return ctx
+	ctx.BuildTags = append([]string(nil), sorted...)
+	c := &stdCache{
+		fset: token.NewFileSet(),
+		ctx:  ctx,
+		pkgs: make(map[string]*types.Package),
+	}
+	stdCaches.byKey[key] = c
+	return c
 }
 
 // NewLoader creates a Loader for the module rooted at modDir. The module
@@ -90,17 +114,19 @@ func NewLoader(modDir string) (*Loader, error) {
 		ModDir:  modDir,
 		fset:    token.NewFileSet(),
 		ctx:     ctx,
+		std:     stdCacheFor(nil),
 		pkgs:    make(map[string]*Package),
 		parsed:  make(map[string][]*ast.File),
 	}, nil
 }
 
 // SetBuildTags sets the build tags honored when selecting module files
-// (e.g. "debugasserts"). Must be called before the first Load; the shared
-// stdlib cache keeps the default context regardless, since stdlib sources
-// do not use module tags.
+// (e.g. "debugasserts"). Must be called before the first Load. The loader
+// also switches to the shared stdlib cache keyed by the same tags, so
+// facts typechecked under one tag set are never reused under another.
 func (l *Loader) SetBuildTags(tags []string) {
 	l.ctx.BuildTags = append([]string(nil), tags...)
+	l.std = stdCacheFor(tags)
 }
 
 // readModulePath extracts the module path from a go.mod file.
@@ -137,14 +163,14 @@ func (l *Loader) moduleDir(path string) string {
 }
 
 // stdDir resolves an import path under $GOROOT/src (or its vendor tree).
-func stdDir(path string) (string, error) {
-	dir := filepath.Join(stdCache.ctx.GOROOT, "src", filepath.FromSlash(path))
+func (c *stdCache) stdDir(path string) (string, error) {
+	dir := filepath.Join(c.ctx.GOROOT, "src", filepath.FromSlash(path))
 	if st, err := os.Stat(dir); err == nil && st.IsDir() {
 		return dir, nil
 	}
 	// Dependencies vendored into the standard library (net/http pulls in
 	// golang.org/x/... this way) live under $GOROOT/src/vendor.
-	vdir := filepath.Join(stdCache.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	vdir := filepath.Join(c.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
 	if st, err := os.Stat(vdir); err == nil && st.IsDir() {
 		return vdir, nil
 	}
@@ -168,58 +194,75 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		}
 		return pkg.Types, nil
 	}
-	return loadStd(path)
+	return l.std.loadStd(path)
 }
 
-// loadStd returns the shared typechecked stdlib package for path.
-func loadStd(path string) (*types.Package, error) {
-	stdCache.mu.Lock()
-	defer stdCache.mu.Unlock()
-	return loadStdLocked(path)
+// loadStd returns the cache's typechecked stdlib package for path.
+func (c *stdCache) loadStd(path string) (*types.Package, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//rexlint:ignore lockcheck the parse fan-out under the lock is a bounded wait: parser goroutines never block and always terminate
+	return c.loadStdLocked(path)
 }
 
 // loadStdLocked parses and typechecks one stdlib package (and, through the
 // stdImporter, its import closure) under the cache lock. Imported
-// packages are checked without a types.Info: analyzers never inspect
-// stdlib syntax, and the Defs/Uses/Selections maps for the import closure
-// dwarf those of the target packages.
-func loadStdLocked(path string) (*types.Package, error) {
-	if p, ok := stdCache.pkgs[path]; ok {
+// packages are checked without a types.Info and with IgnoreFuncBodies:
+// analyzers never inspect stdlib syntax or effects — call sites into the
+// standard library are classified by name against known tables, not by
+// analyzing stdlib bodies — so only the exported API shape matters, and
+// skipping body checking cuts the dominant cost of a cold whole-module
+// run. With bodies ignored go/types can no longer see body-only uses of
+// imports and variables, so it raises spurious "imported and not used"
+// diagnostics; those are soft errors by definition, and the handler below
+// keeps only hard ones.
+func (c *stdCache) loadStdLocked(path string) (*types.Package, error) {
+	if p, ok := c.pkgs[path]; ok {
 		return p, nil
 	}
-	dir, err := stdDir(path)
+	dir, err := c.stdDir(path)
 	if err != nil {
 		return nil, err
 	}
-	files, err := parseGoDir(stdCache.fset, &stdCache.ctx, dir)
+	files, err := parseGoDir(c.fset, &c.ctx, dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
 	}
+	var hard error
 	conf := types.Config{
-		Importer: stdImporter{},
-		Sizes:    types.SizesFor(stdCache.ctx.Compiler, stdCache.ctx.GOARCH),
+		Importer:         stdImporter{c},
+		Sizes:            types.SizesFor(c.ctx.Compiler, c.ctx.GOARCH),
+		IgnoreFuncBodies: true,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok && te.Soft {
+				return
+			}
+			if hard == nil {
+				hard = err
+			}
+		},
 	}
-	tpkg, err := conf.Check(path, stdCache.fset, files, nil)
-	if err != nil {
-		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	tpkg, _ := conf.Check(path, c.fset, files, nil)
+	if hard != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, hard)
 	}
-	stdCache.pkgs[path] = tpkg
+	c.pkgs[path] = tpkg
 	return tpkg, nil
 }
 
 // stdImporter resolves the imports of stdlib packages while the cache lock
 // is already held (stdlib only ever imports stdlib).
-type stdImporter struct{}
+type stdImporter struct{ c *stdCache }
 
 // Import implements types.Importer for the stdlib closure.
-func (stdImporter) Import(path string) (*types.Package, error) {
+func (i stdImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	return loadStdLocked(path)
+	return i.c.loadStdLocked(path)
 }
 
 // load parses and typechecks the module-local package at the given import
@@ -302,13 +345,17 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 }
 
 // parseGoDir parses the buildable non-test Go files of dir, honoring build
-// constraints under the given build context.
+// constraints under the given build context. Files are parsed concurrently:
+// token.FileSet is documented as safe for concurrent use, and parsing is
+// the dominant cost of a cold stdlib pass once body typechecking is
+// skipped. Results keep directory order so positions and declaration order
+// stay deterministic run to run.
 func parseGoDir(fset *token.FileSet, ctx *build.Context, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %w", err)
 	}
-	var files []*ast.File
+	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -318,13 +365,42 @@ func parseGoDir(fset *token.FileSet, ctx *build.Context, dir string) ([]*ast.Fil
 		if err != nil || !ok {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		names = append(names, name)
+	}
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
-		files = append(files, f)
 	}
 	return files, nil
+}
+
+// Packages returns every module-local package this loader has typechecked
+// so far — the requested targets plus their module-local import closure —
+// sorted by import path. The interprocedural engine builds its program
+// over this set so call edges can cross package boundaries.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
 }
 
 // Load resolves the given package patterns (import paths relative to the

@@ -52,9 +52,14 @@ type lockInfo struct {
 type lockFact map[string]lockInfo
 
 // lockFlow solves held-mutex facts forward; must selects intersection
-// (held on every path) versus union (held on some path) joins.
+// (held on every path) versus union (held on some path) joins. prog, when
+// set, supplies interprocedural unlock summaries: a call to a method that
+// may unlock a receiver mutex drops the held fact, closing the
+// hidden-unlock blind spot (the caller can no longer be assumed to still
+// hold the lock after the call).
 type lockFlow struct {
 	info  *types.Info
+	prog  *Program
 	entry lockFact
 	must  bool
 }
@@ -106,11 +111,12 @@ func (lf *lockFlow) Equal(a, b lockFact) bool {
 }
 
 func (lf *lockFlow) Transfer(n ast.Node, in lockFact) lockFact {
-	return lockTransfer(lf.info, n, in)
+	return lockTransfer(lf.info, lf.prog, n, in)
 }
 
-// lockTransfer applies one node's Lock/Unlock/defer effects.
-func lockTransfer(info *types.Info, n ast.Node, in lockFact) lockFact {
+// lockTransfer applies one node's Lock/Unlock/defer effects, plus
+// summary-driven hidden unlocks through module-local callees.
+func lockTransfer(info *types.Info, prog *Program, n ast.Node, in lockFact) lockFact {
 	out := in
 	copied := false
 	ensure := func() {
@@ -152,10 +158,51 @@ func lockTransfer(info *types.Info, n ast.Node, in lockFact) lockFact {
 				ensure()
 				delete(out, key)
 			}
+		case lockNone:
+			// Interprocedural: a callee that may unlock a receiver mutex
+			// means the lock cannot be assumed held after the call.
+			for _, k := range hiddenUnlockKeys(info, prog, call) {
+				if _, held := out[k]; held {
+					ensure()
+					delete(out, k)
+				}
+			}
 		}
 		return true
 	})
 	return out
+}
+
+// hiddenUnlockKeys returns the lock-fact keys a call may release through
+// its callees' unlock summaries (e.g. x.finish() where finish does
+// x.mu.Unlock()).
+func hiddenUnlockKeys(info *types.Info, prog *Program, call *ast.CallExpr) []string {
+	if prog == nil {
+		return nil
+	}
+	callees := prog.CalleesAt(call)
+	if len(callees) == 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	baseKey, ok := exprKey(info, sel.X)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	for _, callee := range callees {
+		for _, f := range prog.SummaryOf(callee).UnlockFields {
+			if f == "" {
+				keys = append(keys, baseKey)
+			} else {
+				keys = append(keys, baseKey+"."+f)
+			}
+		}
+	}
+	return keys
 }
 
 // mutex call kinds.
@@ -499,8 +546,9 @@ func (ctx *lockCtx) checkFunc(fd *ast.FuncDecl, body *ast.BlockStmt) {
 	if fd != nil {
 		entry = ctx.entryLocks(fd)
 	}
-	must := Forward[lockFact](g, &lockFlow{info: info, entry: entry, must: true})
-	may := Forward[lockFact](g, &lockFlow{info: info, entry: entry, must: false})
+	prog := ctx.pass.Prog
+	must := Forward[lockFact](g, &lockFlow{info: info, prog: prog, entry: entry, must: true})
+	may := Forward[lockFact](g, &lockFlow{info: info, prog: prog, entry: entry, must: false})
 	fresh := freshLocals(info, body)
 
 	reach := g.Reachable()
@@ -515,8 +563,8 @@ func (ctx *lockCtx) checkFunc(fd *ast.FuncDecl, body *ast.BlockStmt) {
 		}
 		for _, n := range b.Nodes {
 			ctx.checkNode(n, fMust, fMay, fresh)
-			fMust = lockTransfer(info, n, fMust)
-			fMay = lockTransfer(info, n, fMay)
+			fMust = lockTransfer(info, prog, n, fMust)
+			fMay = lockTransfer(info, prog, n, fMay)
 		}
 		// Fall-off-the-end exit: the block reaches Exit without a return
 		// statement, so the leak check above never saw a flow-exit node.
@@ -634,20 +682,49 @@ func (ctx *lockCtx) checkBlockingCall(call *ast.CallExpr, fMust lockFact) {
 	if fn == nil {
 		return
 	}
-	lockedFields := ctx.summaries[fn]
-	if lockedFields == nil {
-		return
-	}
-	baseKey, okKey := exprKey(info, sel.X)
-	if !okKey {
-		return
-	}
-	for mf := range lockedFields {
-		required := baseKey + "." + mf
-		if li, held := fMust[required]; held && !li.read {
-			ctx.pass.Reportf(call.Pos(), "call to %s while holding %s: the callee locks the same mutex (self-deadlock)",
-				sel.Sel.Name, li.path)
+	if lockedFields := ctx.summaries[fn]; lockedFields != nil {
+		if baseKey, okKey := exprKey(info, sel.X); okKey {
+			for mf := range lockedFields {
+				required := baseKey + "." + mf
+				if li, held := fMust[required]; held && !li.read {
+					ctx.pass.Reportf(call.Pos(), "call to %s while holding %s: the callee locks the same mutex (self-deadlock)",
+						sel.Sel.Name, li.path)
+				}
+			}
 		}
+	}
+	ctx.checkBlockingCallee(call, fMust)
+}
+
+// checkBlockingCallee is the interprocedural half of the blocking check: a
+// module-local callee whose summary says it may block (channel op, select
+// without default, WaitGroup.Wait, time.Sleep — directly or deeper in the
+// call graph) is flagged when a lock is must-held at the call, with the
+// chain to the root blocking site. A callee that first unlocks the held
+// mutex drops the fact in the transfer before this check fires, so
+// unlock-then-block helpers stay silent.
+func (ctx *lockCtx) checkBlockingCallee(call *ast.CallExpr, fMust lockFact) {
+	prog := ctx.pass.Prog
+	if prog == nil || len(fMust) == 0 {
+		return
+	}
+	for _, callee := range prog.CalleesAt(call) {
+		sum := prog.SummaryOf(callee)
+		if sum.Mask&EffBlock == 0 {
+			continue
+		}
+		var anyPath string
+		for _, li := range fMust {
+			anyPath = li.path
+			break
+		}
+		what := "a blocking operation"
+		if sum.Block != nil && sum.Block.What != "" {
+			what = sum.Block.What
+		}
+		ctx.pass.Reportf(call.Pos(), "call to %s while holding %s may block under the lock: %s%s",
+			callee.Name(), anyPath, what, sum.Block.Chain())
+		return
 	}
 }
 

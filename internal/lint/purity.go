@@ -1,0 +1,68 @@
+package lint
+
+// Purity enforces declared side-effect contracts using the interprocedural
+// summaries. A function declared
+//
+//	//rexlint:pure
+//
+// must classify as "pure" on the summary lattice (pure < reads-receiver <
+// mutates-receiver < global-effect): no receiver or parameter mutation, no
+// package-level writes, no wall-clock reads, no blocking, and no dynamic
+// calls the engine cannot resolve. Allocation alone is allowed — a pure
+// function may build and return a fresh value.
+//
+// The same summaries also feed clockpurity (a callee chain hiding a
+// wall-clock read) and lockcheck (a callee chain that blocks or unlocks
+// while the caller reasons about held locks), upgrading both from
+// per-function heuristics to call-graph facts.
+var Purity = &Analyzer{
+	Name: "purity",
+	Doc:  "require //rexlint:pure functions to have no observable side effects per their interprocedural summary",
+	Run:  runPurity,
+}
+
+func runPurity(pass *Pass) error {
+	for _, node := range pass.Prog.NodesOf(pass.pkg()) {
+		if !node.DeclaredPure {
+			continue
+		}
+		sum := pass.Prog.SummaryOf(node)
+		bad := sum.Mask & impureBits
+		if bad == 0 {
+			continue
+		}
+		what, tr := describeImpurity(sum, bad)
+		pos := node.Pos()
+		if tr != nil && tr.EntryPos.IsValid() {
+			pos = tr.EntryPos
+		}
+		pass.Reportf(pos, "%s is declared //rexlint:pure but is %s: %s%s",
+			node.Name(), sum.Purity(), what, tr.Chain())
+	}
+	return nil
+}
+
+// describeImpurity picks the most severe violated bit and its provenance.
+func describeImpurity(sum *Summary, bad uint16) (string, *Trace) {
+	switch {
+	case bad&EffUnknown != 0:
+		return "it contains " + traceWhat(sum.Unknown, "a dynamic call"), sum.Unknown
+	case bad&EffClock != 0:
+		return "it reads the wall clock (" + traceWhat(sum.Clock, "clock read") + ")", sum.Clock
+	case bad&EffBlock != 0:
+		return "it may block (" + traceWhat(sum.Block, "blocking operation") + ")", sum.Block
+	case bad&EffGlobal != 0:
+		return "it has package-level effects", nil
+	case bad&EffMutatesRecv != 0:
+		return "it mutates its receiver", nil
+	default:
+		return "it writes through a parameter", nil
+	}
+}
+
+func traceWhat(tr *Trace, fallback string) string {
+	if tr == nil || tr.What == "" {
+		return fallback
+	}
+	return tr.What
+}

@@ -1,0 +1,1654 @@
+package lint
+
+// Interprocedural function summaries. A Program owns the call graph of
+// callgraph.go plus one Summary per function node: a monotone effect mask
+// (allocates / reads the wall clock / blocks / mutates receiver or
+// parameter state / global effect / unresolvable call) with provenance
+// traces, receiver-mutex unlock facts for lockcheck, and per-parameter
+// escape facts for sharecheck.
+//
+// Summaries are computed bottom-up in two stages. The local stage runs the
+// existing Flow[F] worklist solver (dataflow.go) over each function's CFG
+// with an effect-mask lattice — so effects in unreachable code (after
+// return/panic, or pruned by the CFG builder) never enter a summary — and
+// collects provenance sites from the reachable blocks in source order. The
+// interprocedural stage then iterates the sorted node list to a fixpoint,
+// folding callee summaries into callers at each reachable call site; the
+// mask lattice is finite and the transfer is monotone, so recursion and
+// mutual recursion converge deterministically.
+//
+// Two deliberate scope decisions, shared by every consumer:
+//
+//   - Debug-assertion blocks guarded by a named boolean constant
+//     (`if cluster.DebugAsserts { ... }`) are folded away regardless of
+//     the constant's build-tag value: production builds compile them out,
+//     and folding keeps default and -tags debugasserts lint runs in
+//     agreement.
+//   - A `//rexlint:ignore <analyzer> <reason>` on a leaf site blesses the
+//     whole call chain: the waived effect is kept out of the summary, so
+//     callers are not re-flagged for a site a reviewer already accepted.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Effect bits of a summary mask.
+const (
+	// EffAlloc: some reachable path allocates (make, literal, append
+	// growth, closure or interface boxing, goroutine spawn, ...).
+	EffAlloc uint16 = 1 << iota
+	// EffClock: reads or waits on the ambient wall clock.
+	EffClock
+	// EffBlock: may block the calling goroutine (channel op, select
+	// without default, WaitGroup.Wait, time.Sleep). Mutex Lock is policed
+	// by lockcheck's ordering rules instead and deliberately excluded.
+	EffBlock
+	// EffGlobal: observable effect beyond receiver/parameters — writes
+	// package-level state, spawns goroutines, captured-variable writes,
+	// or calls into stdlib with unknown effects.
+	EffGlobal
+	// EffReadsRecv / EffMutatesRecv: receiver access classification.
+	EffReadsRecv
+	EffMutatesRecv
+	// EffMutatesParam: writes through a pointer/slice/map parameter.
+	EffMutatesParam
+	// EffUnknown: contains a dynamic call with no resolvable target, so
+	// nothing can be proven about it.
+	EffUnknown
+)
+
+// Trace is the provenance of one effect bit: the root site that produced
+// it, the call chain it arrived through, and where that chain enters the
+// summarized function.
+type Trace struct {
+	// Pos is the root site (the actual allocation / clock read / ...).
+	Pos token.Pos
+	// What describes the root site ("make([]int, n)", "time.Now", ...).
+	What string
+	// Via is the callee chain from the summarized function down to the
+	// root site's function; empty for a local site.
+	Via []string
+	// EntryPos is where the effect enters this function: the root site
+	// itself when local, otherwise the call site of Via[0].
+	EntryPos token.Pos
+}
+
+// Chain renders "via a → b" for diagnostics, or "" for local sites.
+func (t *Trace) Chain() string {
+	if t == nil || len(t.Via) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(t.Via, " → ") + ")"
+}
+
+// Summary is the interprocedural fact set of one function node.
+type Summary struct {
+	Mask uint16
+
+	// Provenance for the caller-visible effect bits; nil when the bit is
+	// unset.
+	Alloc   *Trace
+	Clock   *Trace
+	Block   *Trace
+	Unknown *Trace
+
+	// UnlockFields are receiver mutex field paths ("mu") the function may
+	// unlock on some path, directly or through callees. Sorted.
+	UnlockFields []string
+
+	// ParamEscape describes, per parameter (parallel to FuncNode.Params),
+	// how the parameter value may escape its caller's ownership ("" = does
+	// not escape): stored into non-local state, sent on a channel,
+	// captured by a goroutine, or passed onward to an escaping parameter.
+	ParamEscape []string
+	// RecvEscape is the same fact for the receiver.
+	RecvEscape string
+}
+
+// Purity maps the mask onto the four-level classification used by the
+// purity analyzer: "pure" < "reads-receiver" < "mutates-receiver" <
+// "global-effect". Parameter mutation classifies with receiver mutation
+// (both are caller-visible writes through the signature).
+func (s *Summary) Purity() string {
+	switch {
+	case s.Mask&(EffGlobal|EffUnknown|EffClock|EffBlock) != 0:
+		return "global-effect"
+	case s.Mask&(EffMutatesRecv|EffMutatesParam) != 0:
+		return "mutates-receiver"
+	case s.Mask&EffReadsRecv != 0:
+		return "reads-receiver"
+	default:
+		return "pure"
+	}
+}
+
+// impureBits are the effects a //rexlint:pure function must not have.
+// Allocation alone is allowed: a pure function may build and return a
+// fresh value.
+const impureBits = EffClock | EffBlock | EffGlobal | EffMutatesRecv | EffMutatesParam | EffUnknown
+
+// Program is the interprocedural context of one lint run: every loaded
+// package, the call graph over them, and the summary of every function,
+// memoized for the life of the run.
+type Program struct {
+	Pkgs []*Package
+
+	graph     *callGraph
+	summaries map[*FuncNode]*Summary
+	local     map[*FuncNode]*localFacts
+	nodesExpr map[*Package][]*FuncNode
+	ignores   map[*Package]*ignoreSet
+	transfers map[*Package]*transferSet
+	owned     map[*types.TypeName]bool
+}
+
+// NewProgram builds the call graph and computes every function summary to
+// fixpoint. Analyzer scope does not matter here: summaries cover the whole
+// package set so facts can cross package boundaries.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:      pkgs,
+		graph:     buildCallGraph(pkgs),
+		summaries: make(map[*FuncNode]*Summary),
+		local:     make(map[*FuncNode]*localFacts),
+		nodesExpr: make(map[*Package][]*FuncNode),
+		ignores:   make(map[*Package]*ignoreSet),
+		transfers: make(map[*Package]*transferSet),
+		owned:     make(map[*types.TypeName]bool),
+	}
+	for _, pkg := range pkgs {
+		p.ignores[pkg] = buildIgnores(pkg.Fset, pkg.Files)
+		p.transfers[pkg] = buildTransfers(pkg.Fset, pkg.Files)
+		collectOwnedTypes(pkg, p.owned)
+	}
+	for _, n := range p.graph.nodes {
+		p.nodesExpr[n.Pkg] = append(p.nodesExpr[n.Pkg], n)
+		p.local[n] = computeLocalFacts(p, n)
+		p.summaries[n] = &Summary{}
+	}
+	p.solve()
+	return p
+}
+
+// ignoresFor returns the package's suppression set (building it on demand
+// for packages outside the program, which should not happen in practice).
+func (p *Program) ignoresFor(pkg *Package) *ignoreSet {
+	if s, ok := p.ignores[pkg]; ok {
+		return s
+	}
+	s := buildIgnores(pkg.Fset, pkg.Files)
+	p.ignores[pkg] = s
+	return s
+}
+
+// transfersFor returns the package's //rexlint:transfer directive set.
+func (p *Program) transfersFor(pkg *Package) *transferSet {
+	if s, ok := p.transfers[pkg]; ok {
+		return s
+	}
+	s := buildTransfers(pkg.Fset, pkg.Files)
+	p.transfers[pkg] = s
+	return s
+}
+
+// NodesOf returns pkg's function nodes in source order.
+func (p *Program) NodesOf(pkg *Package) []*FuncNode {
+	return p.nodesExpr[pkg]
+}
+
+// NodeOf returns the node of a declared function, or nil.
+func (p *Program) NodeOf(fn *types.Func) *FuncNode { return p.graph.byFunc[fn] }
+
+// LitNodeOf returns the node of a function literal, or nil.
+func (p *Program) LitNodeOf(lit *ast.FuncLit) *FuncNode { return p.graph.byLit[lit] }
+
+// CalleesAt returns the module-local callee candidates of a call
+// expression, or nil for stdlib/unknown calls.
+func (p *Program) CalleesAt(call *ast.CallExpr) []*FuncNode { return p.graph.calleesAt[call] }
+
+// EffectiveCalls returns n's call sites that survive CFG reachability and
+// debug-guard folding — the sites its summary was computed from.
+func (p *Program) EffectiveCalls(n *FuncNode) []CallSite {
+	if lf, ok := p.local[n]; ok {
+		return lf.calls
+	}
+	return n.Calls
+}
+
+// SummaryOf returns the node's summary (never nil for graph nodes).
+func (p *Program) SummaryOf(n *FuncNode) *Summary {
+	if s, ok := p.summaries[n]; ok {
+		return s
+	}
+	return &Summary{}
+}
+
+// OwnedTypeName reports the qualified name of t's named type when it is
+// declared //rexlint:owned (pointers are dereferenced), or "".
+func (p *Program) OwnedTypeName(t types.Type) string {
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	tn := named.Obj()
+	if !p.owned[tn] {
+		return ""
+	}
+	if tn.Pkg() != nil {
+		return tn.Pkg().Name() + "." + tn.Name()
+	}
+	return tn.Name()
+}
+
+// collectOwnedTypes records named types whose declaration doc carries
+// //rexlint:owned.
+func collectOwnedTypes(pkg *Package, out map[*types.TypeName]bool) {
+	hasOwned := func(doc *ast.CommentGroup) bool {
+		if doc == nil {
+			return false
+		}
+		for _, c := range doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "rexlint:owned" || strings.HasPrefix(text, "rexlint:owned ") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasOwned(ts.Doc) && !(len(gd.Specs) == 1 && hasOwned(gd.Doc)) {
+					continue
+				}
+				if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Local stage: per-function effect facts via the Flow solver.
+
+// localFacts is the intraprocedural part of a node's summary: its own
+// effect events plus the call sites that survive reachability and
+// debug-guard folding.
+type localFacts struct {
+	mask   uint16
+	events []effectEvent
+	calls  []CallSite
+	// unlocks are receiver mutex fields unlocked directly in this body.
+	unlocks []string
+	// locked are receiver mutex fields the body also acquires itself; an
+	// unlock balanced by a local acquisition is not a net unlock and must
+	// not surface in UnlockFields (callers' held facts survive the call).
+	locked map[string]bool
+	// paramEscape/recvEscape are direct (non-call) escape facts.
+	paramEscape []string
+	recvEscape  string
+	// closures are literal creations whose allocation verdict depends on
+	// callee escape summaries, decided during the fixpoint.
+	closures []closureUse
+}
+
+// effectEvent is one local effect site.
+type effectEvent struct {
+	bit  uint16
+	pos  token.Pos
+	what string
+}
+
+// closureUse is a capturing function literal whose escape — and therefore
+// heap allocation — depends on where it flows.
+type closureUse struct {
+	lit      *ast.FuncLit
+	node     *FuncNode
+	captures bool
+	// escaped, when already decided locally (go statement, stored, sent,
+	// passed to stdlib), short-circuits the summary consultation.
+	escaped bool
+	// call/argIndex identify a module-local call the literal is passed to;
+	// the callee's parameter escape summary decides.
+	call     *ast.CallExpr
+	argIndex int
+}
+
+// effectFlow is the Flow[F] instance of the local stage: the fact is the
+// mask of effects that occurred on some path to this point. Join is union,
+// so the solver computes may-effects over exactly the CFG-reachable paths.
+type effectFlow struct {
+	lf    *nodeClassifier
+	cache map[ast.Node]uint16
+}
+
+func (ef *effectFlow) Entry() uint16           { return 0 }
+func (ef *effectFlow) Join(a, b uint16) uint16 { return a | b }
+func (ef *effectFlow) Equal(a, b uint16) bool  { return a == b }
+func (ef *effectFlow) Transfer(n ast.Node, in uint16) uint16 {
+	m, ok := ef.cache[n]
+	if !ok {
+		m = ef.lf.maskOf(n)
+		ef.cache[n] = m
+	}
+	return in | m
+}
+
+// computeLocalFacts builds one node's local facts: solve the effect mask
+// over the CFG, then harvest provenance events and surviving call sites
+// from the reachable blocks in source order.
+func computeLocalFacts(p *Program, n *FuncNode) *localFacts {
+	lf := &localFacts{}
+	cls := newNodeClassifier(p, n)
+	g := BuildCFG(n.Body, n.Pkg.Info)
+	flow := &effectFlow{lf: cls, cache: make(map[ast.Node]uint16)}
+	facts := Forward[uint16](g, flow)
+
+	// The summary mask is the union of every computed block's output: any
+	// effect on any reachable path, and nothing from unreachable code.
+	var reachSpans []posRange
+	for _, b := range g.Blocks {
+		out, ok := facts.Out[b]
+		if !ok {
+			continue
+		}
+		lf.mask |= out
+		for _, node := range b.Nodes {
+			reachSpans = append(reachSpans, posRange{node.Pos(), node.End()})
+		}
+	}
+	inSpan := func(pos token.Pos) bool {
+		for _, r := range reachSpans {
+			if pos >= r.lo && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Harvest provenance events from reachable statements, in source order.
+	for _, b := range g.Blocks {
+		if _, ok := facts.In[b]; !ok {
+			continue
+		}
+		for _, node := range b.Nodes {
+			cls.collect(node, lf)
+		}
+	}
+	sort.Slice(lf.events, func(i, j int) bool { return lf.events[i].pos < lf.events[j].pos })
+	sort.Strings(lf.unlocks)
+	lf.unlocks = dedupStrings(lf.unlocks)
+
+	// Call sites survive if reachable and not inside a folded debug guard.
+	for _, site := range n.Calls {
+		if !inSpan(site.Pos) || cls.guarded(site.Pos) {
+			continue
+		}
+		lf.calls = append(lf.calls, site)
+	}
+
+	// Direct escape facts for receiver and parameters.
+	lf.paramEscape = make([]string, len(n.Params))
+	cls.collectEscapes(lf)
+	return lf
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func dedupStrings(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || in[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Node-level effect classification.
+
+// nodeClassifier computes the effect mask and provenance events of single
+// straight-line CFG nodes for one function, honoring debug-guard folding
+// and leaf-site ignore waivers.
+type nodeClassifier struct {
+	prog *Program
+	node *FuncNode
+	info *types.Info
+	// guards are if-bodies controlled by a named boolean constant.
+	guards []posRange
+	// litParents maps each directly nested literal to its syntactic use.
+	litUse map[*ast.FuncLit]closureUse
+}
+
+func newNodeClassifier(p *Program, n *FuncNode) *nodeClassifier {
+	c := &nodeClassifier{prog: p, node: n, info: n.Pkg.Info, litUse: map[*ast.FuncLit]closureUse{}}
+	inspectShallow(n.Body, func(x ast.Node) bool {
+		ifs, ok := x.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if constBoolGuard(c.info, ifs.Cond) {
+			c.guards = append(c.guards, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	c.classifyLits()
+	return c
+}
+
+// constBoolGuard reports whether cond is a plain named boolean constant
+// (`DebugAsserts`, `cluster.DebugAsserts`): the debug-assertion idiom whose
+// body is folded out of summaries.
+func constBoolGuard(info *types.Info, cond ast.Expr) bool {
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		tv, ok := info.Types[x.(ast.Expr)]
+		return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool
+	}
+	return false
+}
+
+// guarded reports whether pos lies inside a folded debug-assertion block.
+func (c *nodeClassifier) guarded(pos token.Pos) bool {
+	for _, r := range c.guards {
+		if pos >= r.lo && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// waived reports whether an effect at pos was accepted by a reviewer via a
+// line-level ignore for the given analyzer; the waiver then blesses the
+// whole call chain. Marking the entry used here is deliberate: a waiver
+// consumed by the summary layer is doing work even if the analyzer itself
+// never fires at that line.
+func (c *nodeClassifier) waived(analyzer string, pos token.Pos) bool {
+	return c.prog.ignoresFor(c.node.Pkg).suppressed(analyzer, c.node.Pkg.Fset.Position(pos))
+}
+
+// maskOf computes the effect bits of one straight-line node (no
+// provenance); used by the Flow transfer.
+func (c *nodeClassifier) maskOf(n ast.Node) uint16 {
+	var mask uint16
+	c.walkEffects(n, func(bit uint16, _ token.Pos, _ string) { mask |= bit })
+	return mask
+}
+
+// collect appends provenance events (and unlock facts) for one node.
+func (c *nodeClassifier) collect(n ast.Node, lf *localFacts) {
+	c.walkEffects(n, func(bit uint16, pos token.Pos, what string) {
+		lf.events = append(lf.events, effectEvent{bit: bit, pos: pos, what: what})
+	})
+	c.collectUnlocks(n, lf)
+	c.collectClosures(n, lf)
+}
+
+// walkEffects visits one straight-line node and emits its local effects.
+func (c *nodeClassifier) walkEffects(n ast.Node, emit func(bit uint16, pos token.Pos, what string)) {
+	info := c.info
+	writes := c.writeTargets(n)
+	inspectShallow(n, func(x ast.Node) bool {
+		if x == nil || c.guarded(x.Pos()) {
+			return x == nil
+		}
+		switch s := x.(type) {
+		case *ast.CallExpr:
+			c.callEffects(s, emit)
+		case *ast.CompositeLit:
+			switch info.TypeOf(s).Underlying().(type) {
+			case *types.Slice:
+				c.alloc(emit, s.Pos(), "slice literal")
+			case *types.Map:
+				c.alloc(emit, s.Pos(), "map literal")
+			}
+		case *ast.UnaryExpr:
+			switch s.Op {
+			case token.AND:
+				if _, ok := ast.Unparen(s.X).(*ast.CompositeLit); ok {
+					c.alloc(emit, s.Pos(), "&composite literal")
+				}
+			case token.ARROW:
+				c.block(emit, s.Pos(), "channel receive")
+			}
+		case *ast.BinaryExpr:
+			if s.Op == token.ADD && isNonConstString(info, s) {
+				c.alloc(emit, s.Pos(), "string concatenation")
+			}
+		case *ast.SendStmt:
+			c.block(emit, s.Pos(), "channel send")
+		case *ast.SelectStmt:
+			if !selectHasDefault(s) {
+				c.block(emit, s.Select, "select without default")
+			}
+			return true
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(s.X).Underlying().(*types.Chan); ok {
+				c.block(emit, s.For, "range over channel")
+			}
+		case *ast.GoStmt:
+			c.alloc(emit, s.Pos(), "go statement (goroutine spawn)")
+			emit(EffGlobal, s.Pos(), "go statement")
+		}
+		return true
+	})
+	// Writes: classify each written root object.
+	for _, w := range writes {
+		if c.guarded(w.pos) {
+			continue
+		}
+		switch c.classifyObject(w.root) {
+		case rootGlobal:
+			emit(EffGlobal, w.pos, "writes package-level "+w.root.Name())
+		case rootCaptured:
+			emit(EffGlobal, w.pos, "writes captured variable "+w.root.Name())
+		case rootRecv:
+			if w.deep {
+				emit(EffMutatesRecv, w.pos, "writes receiver state")
+			}
+		case rootParam:
+			if w.deep {
+				emit(EffMutatesParam, w.pos, "writes through parameter "+w.root.Name())
+			}
+		}
+	}
+	// Receiver reads.
+	if c.node.Recv != nil {
+		inspectShallow(n, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok || c.guarded(sel.Pos()) {
+				return true
+			}
+			if rootObject(info, sel) == c.node.Recv {
+				emit(EffReadsRecv, sel.Pos(), "reads receiver state")
+			}
+			return true
+		})
+	}
+}
+
+func (c *nodeClassifier) alloc(emit func(uint16, token.Pos, string), pos token.Pos, what string) {
+	if c.waived("alloccheck", pos) {
+		return
+	}
+	emit(EffAlloc, pos, what)
+}
+
+func (c *nodeClassifier) block(emit func(uint16, token.Pos, string), pos token.Pos, what string) {
+	if c.waived("lockcheck", pos) {
+		return
+	}
+	emit(EffBlock, pos, what)
+}
+
+// callEffects classifies one call expression: builtins, conversions,
+// clock reads, and interface-boxing argument passing. Module-local callee
+// effects arrive later through the summary fixpoint; stdlib callees are
+// classified there too (stdEffect), so this handles only syntax-local
+// effects.
+func (c *nodeClassifier) callEffects(call *ast.CallExpr, emit func(uint16, token.Pos, string)) {
+	info := c.info
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "make":
+				c.alloc(emit, call.Pos(), "make")
+			case "new":
+				c.alloc(emit, call.Pos(), "new")
+			case "append":
+				c.alloc(emit, call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+		if _, isT := info.Uses[id].(*types.TypeName); isT {
+			c.conversionEffects(call, emit)
+			return
+		}
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if _, isT := info.Uses[sel.Sel].(*types.TypeName); isT {
+			c.conversionEffects(call, emit)
+			return
+		}
+		if name := bannedTimeFunc(info, sel); name != "" && !c.node.ClockExempt && !c.waived("clockpurity", call.Pos()) {
+			emit(EffClock, call.Pos(), name)
+		}
+	}
+	c.boxingEffects(call, emit)
+}
+
+// conversionEffects flags converting between string and byte/rune slices —
+// the conversions that copy.
+func (c *nodeClassifier) conversionEffects(call *ast.CallExpr, emit func(uint16, token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	info := c.info
+	dst := info.TypeOf(call.Fun)
+	if dst == nil {
+		return
+	}
+	// Conversion type expressions carry the *type* as their TypeOf.
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	dstU, srcU := dst.Underlying(), src.Underlying()
+	if isString(dstU) && isByteOrRuneSlice(srcU) {
+		c.alloc(emit, call.Pos(), "string(...) conversion copies")
+	}
+	if isByteOrRuneSlice(dstU) && isString(srcU) {
+		c.alloc(emit, call.Pos(), "[]byte/[]rune(...) conversion copies")
+	}
+	if _, isIface := dstU.(*types.Interface); isIface && boxes(info, call.Args[0]) {
+		c.alloc(emit, call.Pos(), "interface conversion boxes "+src.String())
+	}
+}
+
+// boxingEffects flags concrete non-pointer-shaped values passed to
+// interface-typed parameters: the conversion heap-allocates the box.
+func (c *nodeClassifier) boxingEffects(call *ast.CallExpr, emit func(uint16, token.Pos, string)) {
+	sig, ok := c.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() == 0 {
+				continue
+			}
+			slice, okS := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !okS {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(c.info, arg) {
+			c.alloc(emit, arg.Pos(), "interface argument boxes "+c.info.TypeOf(arg).String())
+		}
+	}
+}
+
+// boxes reports whether passing e into an interface heap-allocates: its
+// static type is concrete and not pointer-shaped, and it is not nil, not a
+// small-integer constant (runtime-cached), and not zero-sized.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.IsNil() {
+		return false
+	}
+	if tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v >= 0 && v <= 255 {
+			return false // runtime staticuint64s cache
+		}
+	}
+	t := tv.Type
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface: no new box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly in the iface word
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil {
+			return false
+		}
+	case *types.Struct:
+		if u.NumFields() == 0 {
+			return false // zero-sized
+		}
+	case *types.Array:
+		if u.Len() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isNonConstString(info *types.Info, b *ast.BinaryExpr) bool {
+	tv, ok := info.Types[b]
+	if !ok || !isString(tv.Type.Underlying()) {
+		return false
+	}
+	return tv.Value == nil // constant concatenation folds at compile time
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// writeTarget is one written lvalue: its root object and whether the write
+// goes through a deref/field/index (deep — visible to the caller for
+// pointer-shaped roots) or rebinds the name itself.
+type writeTarget struct {
+	root types.Object
+	pos  token.Pos
+	deep bool
+}
+
+// writeTargets collects the written roots of one straight-line node.
+func (c *nodeClassifier) writeTargets(n ast.Node) []writeTarget {
+	var out []writeTarget
+	record := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		deep := false
+		for {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				// Selecting through a pointer or naming a field both count
+				// as deep writes; writing a plain local struct var's field
+				// is caller-invisible, filtered by classifyObject+deep
+				// rules below (value receivers/params are copies, but a
+				// deep write through them is still conservatively deep —
+				// pointer receivers are the norm in this module).
+				e, deep = x.X, true
+				continue
+			case *ast.StarExpr:
+				e, deep = x.X, true
+				continue
+			case *ast.IndexExpr:
+				e, deep = x.X, true
+				continue
+			}
+			break
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			obj := c.info.Uses[id]
+			if obj == nil {
+				obj = c.info.Defs[id]
+			}
+			if obj != nil {
+				out = append(out, writeTarget{root: obj, pos: id.Pos(), deep: deep})
+			}
+		}
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(s.X)
+		}
+		return true
+	})
+	return out
+}
+
+type rootClass int
+
+const (
+	rootLocal rootClass = iota
+	rootRecv
+	rootParam
+	rootGlobal
+	rootCaptured
+)
+
+// classifyObject places a root object relative to the summarized function:
+// its receiver, one of its parameters, a package-level variable, a
+// variable captured from an enclosing function, or a plain local.
+func (c *nodeClassifier) classifyObject(obj types.Object) rootClass {
+	if obj == nil {
+		return rootLocal
+	}
+	if obj == c.node.Recv {
+		return rootRecv
+	}
+	for _, p := range c.node.Params {
+		if p != nil && obj == p {
+			return rootParam
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return rootLocal
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return rootGlobal
+	}
+	// Declared outside this node's body (and not receiver/param): a
+	// captured variable of an enclosing function.
+	if c.node.Lit != nil && (v.Pos() < c.node.Lit.Pos() || v.Pos() >= c.node.Lit.End()) {
+		return rootCaptured
+	}
+	return rootLocal
+}
+
+// collectUnlocks records receiver mutex fields unlocked in this node, and
+// the ones the node acquires itself (to net the two out later).
+func (c *nodeClassifier) collectUnlocks(n ast.Node, lf *localFacts) {
+	if c.node.Recv == nil {
+		return
+	}
+	inspectShallow(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || c.guarded(call.Pos()) {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		unlock := name == "Unlock" || name == "RUnlock"
+		lock := name == "Lock" || name == "RLock"
+		if !unlock && !lock {
+			return true
+		}
+		if rootObject(c.info, sel.X) != c.node.Recv {
+			return true
+		}
+		path := renderPath(sel.X)
+		field := "" // receiver itself is the mutex
+		if i := strings.IndexByte(path, '.'); i >= 0 {
+			field = path[i+1:]
+		}
+		if unlock {
+			lf.unlocks = append(lf.unlocks, field)
+		} else {
+			if lf.locked == nil {
+				lf.locked = make(map[string]bool)
+			}
+			lf.locked[field] = true
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Closure allocation classification.
+
+// classifyLits decides, for each literal directly nested in the node, how
+// it is used — the part of the closure-allocation verdict that is pure
+// syntax. A literal heap-allocates only when it captures variables AND
+// escapes; non-capturing literals compile to static functions.
+func (c *nodeClassifier) classifyLits() {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	inspectShallow(c.node.Body, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[x] = stack[len(stack)-1]
+		}
+		stack = append(stack, x)
+		return true
+	})
+
+	inspectShallow(c.node.Body, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ln := c.prog.graph.byLit[lit]
+		use := closureUse{lit: lit, node: ln, captures: c.litCaptures(lit), argIndex: -1}
+		switch p := parents[lit].(type) {
+		case *ast.CallExpr:
+			if ast.Unparen(p.Fun) == ast.Expr(lit) {
+				// Directly invoked: never escapes.
+			} else if gp, isGo := parents[p].(*ast.GoStmt); isGo && gp.Call == p {
+				use.escaped = true // goroutine body
+			} else {
+				// Passed as an argument: the callee's parameter escape
+				// summary decides (stdlib/unknown default to escaping).
+				for i, arg := range p.Args {
+					if ast.Unparen(arg) == ast.Expr(lit) {
+						use.call, use.argIndex = p, i
+						break
+					}
+				}
+				if use.argIndex < 0 {
+					use.escaped = true
+				}
+			}
+		case *ast.GoStmt:
+			use.escaped = true
+		case *ast.DeferStmt:
+			// Deferred closures in non-loop position stay on the stack.
+		case *ast.AssignStmt:
+			// Bound to a single-assignment local used only in call
+			// position: non-escaping. Anything else escapes.
+			if !c.litOnlyCalled(p, lit) {
+				use.escaped = true
+			}
+		default:
+			use.escaped = true // returned, stored in a struct, sent, ...
+		}
+		c.litUse[lit] = use
+		return false
+	})
+}
+
+// litCaptures reports whether lit references variables declared outside
+// itself (its free variables force a heap closure when it escapes).
+func (c *nodeClassifier) litCaptures(lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		v, ok := c.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// litOnlyCalled reports whether the literal assigned in as is bound to a
+// local whose every other use is as a call's Fun.
+func (c *nodeClassifier) litOnlyCalled(as *ast.AssignStmt, lit *ast.FuncLit) bool {
+	var obj types.Object
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) == ast.Expr(lit) && i < len(as.Lhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				obj = c.info.Defs[id]
+				if obj == nil {
+					obj = c.info.Uses[id]
+				}
+			}
+		}
+	}
+	if obj == nil {
+		return false
+	}
+	onlyCalls := true
+	callFun := map[ast.Expr]bool{}
+	inspectShallow(c.node.Body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			callFun[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+	inspectShallow(c.node.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || !onlyCalls {
+			return onlyCalls
+		}
+		if c.info.Uses[id] == obj && !callFun[ast.Expr(id)] {
+			onlyCalls = false
+		}
+		return true
+	})
+	return onlyCalls
+}
+
+// collectClosures registers the node's closure uses for fixpoint-time
+// allocation verdicts.
+func (c *nodeClassifier) collectClosures(n ast.Node, lf *localFacts) {
+	inspectShallow(n, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if c.guarded(lit.Pos()) || c.waived("alloccheck", lit.Pos()) {
+			return false
+		}
+		if use, okU := c.litUse[lit]; okU && use.captures {
+			lf.closures = append(lf.closures, use)
+		}
+		return false
+	})
+}
+
+// collectEscapes records direct (non-call) parameter and receiver escapes:
+// channel sends, stores into package-level or non-local structures, and
+// goroutine captures.
+func (c *nodeClassifier) collectEscapes(lf *localFacts) {
+	node := c.node
+	info := c.info
+	mark := func(obj types.Object, how string) {
+		if obj == nil {
+			return
+		}
+		if obj == node.Recv && lf.recvEscape == "" {
+			lf.recvEscape = how
+			return
+		}
+		for i, p := range node.Params {
+			if p != nil && obj == p && lf.paramEscape[i] == "" {
+				lf.paramEscape[i] = how
+			}
+		}
+	}
+	markExpr := func(e ast.Expr, how string) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			mark(obj, how)
+		}
+	}
+	inspectShallow(node.Body, func(x ast.Node) bool {
+		if x == nil || c.guarded(x.Pos()) {
+			return x == nil
+		}
+		switch s := x.(type) {
+		case *ast.SendStmt:
+			markExpr(s.Value, "sent on a channel")
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				root := rootObject(info, lhs)
+				deepStore := false
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					deepStore = true
+				}
+				class := c.classifyObject(root)
+				if !deepStore && class != rootGlobal {
+					continue
+				}
+				switch class {
+				case rootGlobal:
+					markExpr(s.Rhs[i], "stored in package-level state")
+				case rootRecv, rootParam, rootCaptured:
+					markExpr(s.Rhs[i], "stored into "+renderPath(lhs))
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range s.Call.Args {
+				markExpr(arg, "passed to a goroutine")
+			}
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				// Captured free variables escape to the goroutine.
+				ast.Inspect(lit.Body, func(y ast.Node) bool {
+					if id, okI := y.(*ast.Ident); okI {
+						if v, okV := info.Uses[id].(*types.Var); okV && !v.IsField() {
+							mark(v, "captured by a goroutine")
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "append" && len(s.Args) >= 2 {
+					if c.classifyObject(rootObject(info, s.Args[0])) != rootLocal {
+						for _, arg := range s.Args[1:] {
+							markExpr(arg, "appended to "+renderPath(s.Args[0]))
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural stage: fixpoint over sorted nodes.
+
+// stdEffects maps qualified stdlib callees to effect masks. Entries absent
+// from the table and not matched by a prefix rule default to
+// EffAlloc|EffGlobal: safe for noalloc/purity, and deliberately free of
+// Clock/Block so stdlib use does not trip the clock or lock analyzers
+// without evidence.
+var stdEffects = map[string]uint16{
+	"time.Now":   EffClock,
+	"time.Since": EffClock,
+	"time.Until": EffClock,
+	"time.Sleep": EffClock | EffBlock,
+
+	"time.After":     EffClock | EffAlloc | EffGlobal,
+	"time.Tick":      EffClock | EffAlloc | EffGlobal,
+	"time.NewTimer":  EffClock | EffAlloc | EffGlobal,
+	"time.NewTicker": EffClock | EffAlloc | EffGlobal,
+	"time.AfterFunc": EffClock | EffAlloc | EffGlobal,
+
+	"(sync.Mutex).Lock":      0,
+	"(sync.Mutex).Unlock":    0,
+	"(sync.Mutex).TryLock":   0,
+	"(sync.RWMutex).Lock":    0,
+	"(sync.RWMutex).Unlock":  0,
+	"(sync.RWMutex).RLock":   0,
+	"(sync.RWMutex).RUnlock": 0,
+	"(sync.WaitGroup).Add":   0,
+	"(sync.WaitGroup).Done":  0,
+	"(sync.WaitGroup).Wait":  EffBlock,
+
+	"sort.Search": 0,
+
+	"errors.New":  EffAlloc,
+	"fmt.Errorf":  EffAlloc,
+	"fmt.Sprintf": EffAlloc,
+}
+
+// stdEffect classifies one stdlib callee. sortDriver reports the in-place
+// sort.Sort/Stable special case, whose effects are its argument's method
+// set (handled by the caller).
+func stdEffect(name string) (mask uint16, sortDriver bool) {
+	if name == "sort.Sort" || name == "sort.Stable" {
+		return 0, true
+	}
+	if m, ok := stdEffects[name]; ok {
+		return m, false
+	}
+	switch {
+	case strings.HasPrefix(name, "math."): // math only; math/rand has its own prefix
+		return 0, false
+	case strings.HasPrefix(name, "sync/atomic."):
+		return EffMutatesParam, false
+	case strings.HasPrefix(name, "(time.Time)."),
+		strings.HasPrefix(name, "(time.Duration)."):
+		return 0, false
+	}
+	return EffAlloc | EffGlobal, false
+}
+
+// callerBits are the effect bits that flow from callee to caller verbatim.
+const callerBits = EffAlloc | EffClock | EffBlock | EffGlobal | EffUnknown
+
+// solve iterates the interprocedural transfer over the sorted node list
+// until no summary changes. Masks, unlock sets, and escape descriptions
+// only grow, so the fixpoint is reached in at most a few rounds even
+// through recursion; iteration order is deterministic, so provenance
+// (first trace wins) is too.
+func (p *Program) solve() {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range p.graph.nodes {
+			if p.update(n) {
+				changed = true
+			}
+		}
+	}
+}
+
+// update recomputes one node's summary from its local facts and current
+// callee summaries; reports whether anything grew.
+func (p *Program) update(n *FuncNode) bool {
+	s := p.summaries[n]
+	lf := p.local[n]
+	changed := false
+
+	setBit := func(bit uint16, tr *Trace) {
+		if s.Mask&bit != 0 {
+			return
+		}
+		s.Mask |= bit
+		changed = true
+		switch bit {
+		case EffAlloc:
+			s.Alloc = tr
+		case EffClock:
+			s.Clock = tr
+		case EffBlock:
+			s.Block = tr
+		case EffUnknown:
+			s.Unknown = tr
+		}
+	}
+
+	// Local events.
+	for _, ev := range lf.events {
+		setBit(ev.bit, &Trace{Pos: ev.pos, What: ev.what, EntryPos: ev.pos})
+	}
+	if s.ParamEscape == nil {
+		s.ParamEscape = make([]string, len(lf.paramEscape))
+	}
+	for i, e := range lf.paramEscape {
+		if e != "" && s.ParamEscape[i] == "" {
+			s.ParamEscape[i] = e
+			changed = true
+		}
+	}
+	if lf.recvEscape != "" && s.RecvEscape == "" {
+		s.RecvEscape = lf.recvEscape
+		changed = true
+	}
+	for _, u := range lf.unlocks {
+		if lf.locked[u] {
+			continue // balanced by a local acquisition: not a net unlock
+		}
+		if !containsString(s.UnlockFields, u) {
+			s.UnlockFields = append(s.UnlockFields, u)
+			sort.Strings(s.UnlockFields)
+			changed = true
+		}
+	}
+
+	// Closure allocations whose verdict depends on escape summaries.
+	for _, use := range lf.closures {
+		if s.Mask&EffAlloc != 0 {
+			break
+		}
+		if p.closureEscapes(use) {
+			setBit(EffAlloc, &Trace{Pos: use.lit.Pos(), What: "func literal captures variables and escapes", EntryPos: use.lit.Pos()})
+		}
+	}
+
+	// Call sites.
+	for _, site := range lf.calls {
+		if site.Unknown {
+			setBit(EffUnknown, &Trace{Pos: site.Pos, What: "dynamic call with no resolvable target", EntryPos: site.Pos})
+			setBit(EffGlobal, nil)
+		}
+		for _, name := range site.Std {
+			mask, sortDriver := stdEffect(name)
+			if sortDriver && site.Call != nil && len(site.Call.Args) > 0 {
+				p.mergeSortArg(n, s, site, setBit)
+			}
+			if mask&EffClock != 0 && (n.ClockExempt || p.waivedAt(n, "clockpurity", site.Pos)) {
+				mask &^= EffClock
+			}
+			if mask&EffAlloc != 0 && p.waivedAt(n, "alloccheck", site.Pos) {
+				mask &^= EffAlloc &^ 0 // keep expression simple
+				mask &^= EffAlloc
+			}
+			if site.Async {
+				mask &^= EffBlock
+			}
+			for _, bit := range []uint16{EffAlloc, EffClock, EffBlock, EffGlobal, EffMutatesParam} {
+				if mask&bit != 0 {
+					setBit(bit, &Trace{Pos: site.Pos, What: name, EntryPos: site.Pos})
+				}
+			}
+		}
+		for _, callee := range site.Callees {
+			p.mergeCallee(n, s, lf, site, callee, setBit, &changed)
+		}
+	}
+	return changed
+}
+
+// waivedAt checks a line-level ignore without going through a classifier.
+func (p *Program) waivedAt(n *FuncNode, analyzer string, pos token.Pos) bool {
+	return p.ignoresFor(n.Pkg).suppressed(analyzer, n.Pkg.Fset.Position(pos))
+}
+
+// mergeCallee folds one callee summary into the caller at one site.
+func (p *Program) mergeCallee(n *FuncNode, s *Summary, lf *localFacts, site CallSite, callee *FuncNode, setBit func(uint16, *Trace), changed *bool) {
+	cs := p.summaries[callee]
+	lift := func(bit uint16, tr *Trace) {
+		if cs.Mask&bit == 0 {
+			return
+		}
+		var root Trace
+		if tr != nil {
+			root = *tr
+		}
+		via := append([]string{callee.Name()}, root.Via...)
+		setBit(bit, &Trace{Pos: root.Pos, What: root.What, Via: via, EntryPos: site.Pos})
+	}
+	if cs.Mask&EffAlloc != 0 && !p.waivedAt(n, "alloccheck", site.Pos) {
+		lift(EffAlloc, cs.Alloc)
+	}
+	if cs.Mask&EffClock != 0 && !n.ClockExempt && !p.waivedAt(n, "clockpurity", site.Pos) {
+		lift(EffClock, cs.Clock)
+	}
+	if cs.Mask&EffBlock != 0 && !site.Async && !p.waivedAt(n, "lockcheck", site.Pos) {
+		lift(EffBlock, cs.Block)
+	}
+	lift(EffUnknown, cs.Unknown)
+	if cs.Mask&EffGlobal != 0 {
+		setBit(EffGlobal, nil)
+	}
+
+	// Receiver effects map through the call's receiver operand.
+	if cs.Mask&(EffReadsRecv|EffMutatesRecv) != 0 || len(cs.UnlockFields) > 0 || cs.RecvEscape != "" {
+		root := rootObject(n.Pkg.Info, siteRecv(site))
+		class := classifyForNode(n, root)
+		if cs.Mask&EffMutatesRecv != 0 {
+			switch class {
+			case rootRecv:
+				setBit(EffMutatesRecv, nil)
+			case rootParam:
+				setBit(EffMutatesParam, nil)
+			case rootGlobal, rootCaptured:
+				setBit(EffGlobal, nil)
+			}
+		}
+		if cs.Mask&EffReadsRecv != 0 && class == rootRecv {
+			setBit(EffReadsRecv, nil)
+		}
+		if class == rootRecv && !site.Async {
+			for _, u := range cs.UnlockFields {
+				if lf.locked[u] {
+					continue // caller re-balances what the callee releases
+				}
+				if !containsString(s.UnlockFields, u) {
+					s.UnlockFields = append(s.UnlockFields, u)
+					sort.Strings(s.UnlockFields)
+					*changed = true
+				}
+			}
+		}
+	}
+
+	// Parameter mutation: a callee that writes through its pointer
+	// parameters mutates whatever the caller passed.
+	if cs.Mask&EffMutatesParam != 0 && site.Call != nil {
+		for i := range callee.Params {
+			if i >= len(site.Call.Args) {
+				break
+			}
+			switch classifyForNode(n, rootObject(n.Pkg.Info, site.Call.Args[i])) {
+			case rootRecv:
+				setBit(EffMutatesRecv, nil)
+			case rootParam:
+				setBit(EffMutatesParam, nil)
+			case rootGlobal, rootCaptured:
+				setBit(EffGlobal, nil)
+			}
+		}
+	}
+
+	// Escape propagation: caller values passed to escaping callee
+	// parameters escape too (unless the callee is a declared transfer
+	// sink — sharecheck honors that annotation at report time, but the
+	// summary still records the flow for non-owned reasoning).
+	if site.Call != nil {
+		for i, esc := range cs.ParamEscape {
+			if esc == "" || i >= len(site.Call.Args) {
+				continue
+			}
+			how := "passed to " + callee.Name() + ", which " + escVerb(esc)
+			p.markEscape(n, s, rootObject(n.Pkg.Info, site.Call.Args[i]), how, changed)
+		}
+	}
+	if cs.RecvEscape != "" && siteRecv(site) != nil {
+		how := "receiver passed to " + callee.Name() + ", which " + escVerb(cs.RecvEscape)
+		p.markEscape(n, s, rootObject(n.Pkg.Info, siteRecv(site)), how, changed)
+	}
+}
+
+// escVerb turns an escape description into a clause ("stores it ...").
+func escVerb(desc string) string {
+	return "lets it escape (" + desc + ")"
+}
+
+// markEscape records an escape fact for a caller receiver/param object.
+func (p *Program) markEscape(n *FuncNode, s *Summary, obj types.Object, how string, changed *bool) {
+	if obj == nil {
+		return
+	}
+	if obj == n.Recv && s.RecvEscape == "" {
+		s.RecvEscape = how
+		*changed = true
+		return
+	}
+	for i, pr := range n.Params {
+		if pr != nil && obj == pr {
+			if s.ParamEscape == nil {
+				s.ParamEscape = make([]string, len(n.Params))
+			}
+			if s.ParamEscape[i] == "" {
+				s.ParamEscape[i] = how
+				*changed = true
+			}
+		}
+	}
+}
+
+// siteRecv returns the receiver operand of a method call site, or nil.
+func siteRecv(site CallSite) ast.Expr { return site.RecvExpr }
+
+// classifyForNode is classifyObject without a classifier instance.
+func classifyForNode(n *FuncNode, obj types.Object) rootClass {
+	if obj == nil {
+		return rootLocal
+	}
+	if obj == n.Recv {
+		return rootRecv
+	}
+	for _, p := range n.Params {
+		if p != nil && obj == p {
+			return rootParam
+		}
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return rootLocal
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return rootGlobal
+	}
+	if n.Lit != nil && (v.Pos() < n.Lit.Pos() || v.Pos() >= n.Lit.End()) {
+		return rootCaptured
+	}
+	return rootLocal
+}
+
+// mergeSortArg charges the caller with the Len/Less/Swap methods of the
+// value passed to sort.Sort/sort.Stable — the in-place sorters invoke the
+// argument's own methods and allocate nothing themselves.
+func (p *Program) mergeSortArg(n *FuncNode, s *Summary, site CallSite, setBit func(uint16, *Trace)) {
+	argType := n.Pkg.Info.TypeOf(site.Call.Args[0])
+	if argType == nil {
+		return
+	}
+	for _, m := range []string{"Len", "Less", "Swap"} {
+		obj, _, _ := types.LookupFieldOrMethod(argType, true, n.Pkg.Types, m)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		callee := p.graph.byFunc[fn]
+		if callee == nil {
+			continue
+		}
+		cs := p.summaries[callee]
+		for _, bit := range []uint16{EffAlloc, EffClock, EffBlock, EffGlobal, EffUnknown} {
+			if cs.Mask&bit == 0 {
+				continue
+			}
+			if bit == EffAlloc && p.waivedAt(n, "alloccheck", site.Pos) {
+				continue
+			}
+			var root Trace
+			switch bit {
+			case EffAlloc:
+				if cs.Alloc != nil {
+					root = *cs.Alloc
+				}
+			case EffClock:
+				if cs.Clock != nil {
+					root = *cs.Clock
+				}
+			case EffBlock:
+				if cs.Block != nil {
+					root = *cs.Block
+				}
+			case EffUnknown:
+				if cs.Unknown != nil {
+					root = *cs.Unknown
+				}
+			}
+			setBit(bit, &Trace{Pos: root.Pos, What: root.What, Via: append([]string{callee.Name()}, root.Via...), EntryPos: site.Pos})
+		}
+	}
+}
+
+// closureEscapes decides whether a capturing literal escapes, consulting
+// the current escape summaries for callback arguments. Monotone: escape
+// facts only grow during the fixpoint.
+func (p *Program) closureEscapes(use closureUse) bool {
+	if use.escaped {
+		return true
+	}
+	if use.call == nil {
+		return false
+	}
+	callees := p.graph.calleesAt[use.call]
+	if callees == nil {
+		// Stdlib or unknown callee: assume the callback is retained.
+		return true
+	}
+	for _, callee := range callees {
+		i := use.argIndex
+		if callee.Recv == nil {
+			// plain function: arg index aligns with params
+		}
+		cs := p.summaries[callee]
+		if cs.ParamEscape != nil && i < len(cs.ParamEscape) && cs.ParamEscape[i] != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// //rexlint:transfer directive set (sharecheck's ownership hand-off).
+
+// transferEntry is one line-level transfer directive.
+type transferEntry struct {
+	pos  token.Position
+	used bool
+}
+
+// transferSet indexes a package's transfer directives by file and line,
+// with the same own-line-or-next coverage as ignores.
+type transferSet struct {
+	lines map[string]map[int][]*transferEntry
+	all   []*transferEntry
+}
+
+// buildTransfers scans for line-level `//rexlint:transfer <reason>`
+// directives. Directives inside function doc comments declare the function
+// a transfer sink instead (FuncNode.TransferSink) and are excluded here.
+func buildTransfers(fset *token.FileSet, files []*ast.File) *transferSet {
+	out := &transferSet{lines: make(map[string]map[int][]*transferEntry)}
+	docGroups := map[*ast.CommentGroup]bool{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docGroups[fd.Doc] = true
+			}
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			if docGroups[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "rexlint:transfer")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out.lines[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*transferEntry)
+					out.lines[pos.Filename] = lines
+				}
+				e := &transferEntry{pos: pos}
+				out.all = append(out.all, e)
+				lines[pos.Line] = append(lines[pos.Line], e)
+				lines[pos.Line+1] = append(lines[pos.Line+1], e)
+			}
+		}
+	}
+	return out
+}
+
+// sanctioned reports whether a transfer directive covers pos, marking it
+// used.
+func (s *transferSet) sanctioned(pos token.Position) bool {
+	if s == nil {
+		return false
+	}
+	hit := false
+	for _, e := range s.lines[pos.Filename][pos.Line] {
+		e.used = true
+		hit = true
+	}
+	return hit
+}
+
+// unusedTransfers reports directives that sanctioned nothing.
+func (s *transferSet) unusedTransfers() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.all {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "sharecheck",
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("unused rexlint:transfer: no ownership hand-off here to sanction"),
+		})
+	}
+	return out
+}

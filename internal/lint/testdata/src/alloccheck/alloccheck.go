@@ -1,0 +1,90 @@
+// Fixture for the alloccheck analyzer: //rexlint:noalloc functions must be
+// provably allocation-free on every reachable path, callees included.
+// Near-misses: dead code, debug-guarded blocks, waived amortized growth,
+// and clean recursion must stay silent.
+package alloccheck
+
+// debugChecks mirrors cluster.DebugAsserts: a named boolean constant
+// guarding debug-only blocks, folded from summaries regardless of value.
+const debugChecks = false
+
+// scratch is a package-level buffer reused across calls.
+var scratch []int
+
+//rexlint:noalloc
+func directMake(n int) []int {
+	return make([]int, n) // want `alloccheck\.directMake is declared //rexlint:noalloc but allocates: make`
+}
+
+// grow appends without a size hint; callers pay the growth.
+func grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+//rexlint:noalloc
+func viaHelper() {
+	scratch = grow(scratch, 1) // want `alloccheck\.viaHelper is declared //rexlint:noalloc but allocates: append may grow its backing array at .+ \(via alloccheck\.grow\)`
+}
+
+func sink(v any) { _ = v }
+
+//rexlint:noalloc
+func boxes(n int) {
+	sink(n) // want `alloccheck\.boxes is declared //rexlint:noalloc but allocates: interface argument boxes int`
+}
+
+var hook func()
+
+//rexlint:noalloc
+func dynamic() {
+	hook() // want `alloccheck\.dynamic is declared //rexlint:noalloc but cannot be proven: dynamic call with no resolvable target`
+}
+
+// --- near-misses: all of the below must stay silent ---
+
+// deadAlloc allocates only in unreachable code; the CFG excludes it.
+//
+//rexlint:noalloc
+func deadAlloc(n int) int {
+	return n
+	xs := make([]int, n)
+	return len(xs)
+}
+
+// guarded allocates only inside a debug-assertion block, which the summary
+// engine folds away so default and -tags debugasserts runs agree.
+//
+//rexlint:noalloc
+func guarded(n int) int {
+	if debugChecks {
+		scratch = append(scratch, n)
+	}
+	return n
+}
+
+// amortized waives its append: growth into a reused buffer is amortized
+// zero and the waiver blesses the whole call chain.
+//
+//rexlint:noalloc
+func amortized(v int) {
+	//rexlint:ignore alloccheck amortized growth of a reused scratch buffer
+	scratch = append(scratch, v)
+}
+
+// callsAmortized inherits the waived summary: silent.
+//
+//rexlint:noalloc
+func callsAmortized() {
+	amortized(3)
+}
+
+// recurseOK exercises the summary fixpoint over recursion: no allocation
+// on any path, so the self-referential summary converges clean.
+//
+//rexlint:noalloc
+func recurseOK(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + recurseOK(n-1)
+}

@@ -200,6 +200,8 @@ func (v Vec) MaxDim() float64 {
 // MaxRatio returns max_i v[i]/w[i], treating dimensions with w[i] == 0 as
 // contributing 0 when v[i] == 0 and +Inf otherwise. It is the normalized
 // pressure of demand v against capacity w.
+//
+//rexlint:pure
 func (v Vec) MaxRatio(w Vec) float64 {
 	m := 0.0
 	for i := range v {
@@ -216,6 +218,8 @@ func (v Vec) MaxRatio(w Vec) float64 {
 }
 
 // Dot returns the inner product of v and w.
+//
+//rexlint:pure
 func (v Vec) Dot(w Vec) float64 {
 	s := 0.0
 	for i := range v {
