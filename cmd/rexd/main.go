@@ -59,12 +59,14 @@ func run() error {
 		diurnal = flag.Float64("diurnal", 0.6, "synthesized trace: diurnal amplitude [0,1)")
 		drift   = flag.Float64("drift", 0.08, "per-window lognormal popularity drift (0 = frozen)")
 
-		high      = flag.Float64("high", 1.25, "imbalance high-water mark (trigger re-solve)")
-		low       = flag.Float64("low", 1.10, "imbalance low-water mark (stop churning)")
-		cooldown  = flag.Float64("cooldown", 0, "minimum seconds between solves")
-		iters     = flag.Int("iters", 600, "LNS iterations per solve round")
-		restarts  = flag.Int("restarts", 2, "parallel SRA restarts per solve round")
-		solveCost = flag.Float64("solve-cost", 0, "virtual seconds charged per solve round")
+		high       = flag.Float64("high", 1.25, "imbalance high-water mark (trigger re-solve)")
+		low        = flag.Float64("low", 1.10, "imbalance low-water mark (stop churning)")
+		cooldown   = flag.Float64("cooldown", 0, "minimum seconds between solves")
+		iters      = flag.Int("iters", 600, "LNS iterations per solve round")
+		restarts   = flag.Int("restarts", 2, "parallel SRA restarts per solve round")
+		partitions = flag.Int("partitions", 0, "solve resource-shape partitions concurrently when > 1 (0/1 = whole-cluster portfolio)")
+		exRounds   = flag.Int("exchange-rounds", 2, "cross-partition exchange rounds per solve (with -partitions > 1)")
+		solveCost  = flag.Float64("solve-cost", 0, "virtual seconds charged per solve round")
 
 		bandwidth = flag.Float64("bandwidth", 200, "migration bandwidth (disk units/s per move)")
 		inflight  = flag.Int("inflight", 4, "max simultaneously in-flight moves")
@@ -142,7 +144,13 @@ func run() error {
 	cfg := ctl.DefaultConfig()
 	cfg.Window = *window
 	cfg.Policy = ctl.Policy{HighWater: *high, LowWater: *low, Cooldown: *cooldown}
-	cfg.Budget = ctl.Budget{Iterations: *iters, Restarts: *restarts, SolveSeconds: *solveCost}
+	cfg.Budget = ctl.Budget{
+		Iterations:     *iters,
+		Restarts:       *restarts,
+		Partitions:     *partitions,
+		ExchangeRounds: *exRounds,
+		SolveSeconds:   *solveCost,
+	}
 	cfg.Exec = ecfg
 	cfg.Seed = *seed
 	cfg.Registry = reg

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rexchange/internal/vec"
+)
+
+// This file partitions a machine fleet into solver partitions by resource
+// shape, following the equivalence-class decomposition of the authors'
+// 2021 follow-up ("Resource Equivalence Classes"): machines with identical
+// (capacity vector, speed) are interchangeable for placement purposes, so
+// the fleet factors into shape classes that can be rebalanced
+// independently and reconciled by a cross-partition exchange phase.
+
+// PartitionOptions parameterizes PartitionByShape.
+type PartitionOptions struct {
+	// Target is the desired partition count. The result has at most
+	// Target partitions; fewer when the fleet is too small. Target <= 1
+	// yields a single partition covering the whole fleet.
+	Target int
+	// MinMachines is the smallest acceptable partition; smaller shape
+	// classes are merged into their nearest sibling. <= 0 defaults to 2.
+	MinMachines int
+}
+
+// shapeKey identifies a resource-equivalence class by the exact bits of
+// the capacity vector and speed (bit comparison, not float equality: two
+// machines are equivalent only when their resources are literally
+// identical, and NaN-shaped capacities never silently merge).
+type shapeKey struct {
+	cap   [vec.NumResources]uint64
+	speed uint64
+}
+
+func shapeOf(m *Machine) shapeKey {
+	var k shapeKey
+	for d := 0; d < vec.NumResources; d++ {
+		k.cap[d] = math.Float64bits(m.Capacity[d])
+	}
+	k.speed = math.Float64bits(m.Speed)
+	return k
+}
+
+// PartitionByShape groups the fleet into at most opt.Target machine
+// subsets: machines are first bucketed by exact resource shape (capacity
+// bits + speed bits) in first-seen order, oversized classes are split into
+// ID-contiguous chunks, and undersized or surplus classes are merged
+// smallest-first. The result is deterministic — it depends only on the
+// machine list — with every partition's machines ascending and the
+// partitions themselves ordered by their lowest machine ID. Every machine
+// appears in exactly one partition.
+func PartitionByShape(c *Cluster, opt PartitionOptions) [][]MachineID {
+	n := len(c.Machines)
+	if n == 0 {
+		return nil
+	}
+	all := make([]MachineID, n)
+	for i := range all {
+		all[i] = MachineID(i)
+	}
+	if opt.Target <= 1 || n == 1 {
+		return [][]MachineID{all}
+	}
+	minMachines := opt.MinMachines
+	if minMachines <= 0 {
+		minMachines = 2
+	}
+
+	// Bucket by shape in first-seen order (map iteration never drives
+	// output order).
+	classIdx := make(map[shapeKey]int)
+	var classes [][]MachineID
+	for m := 0; m < n; m++ {
+		k := shapeOf(&c.Machines[m])
+		i, ok := classIdx[k]
+		if !ok {
+			i = len(classes)
+			classIdx[k] = i
+			classes = append(classes, nil)
+		}
+		classes[i] = append(classes[i], MachineID(m))
+	}
+
+	// Split classes larger than an even Target-way share into contiguous
+	// chunks, so a homogeneous fleet still decomposes into Target
+	// partitions.
+	maxSize := (n + opt.Target - 1) / opt.Target
+	var parts [][]MachineID
+	for _, cl := range classes {
+		for len(cl) > maxSize {
+			parts = append(parts, cl[:maxSize:maxSize])
+			cl = cl[maxSize:]
+		}
+		parts = append(parts, cl)
+	}
+
+	// Merge smallest-first while there are too many partitions or any
+	// partition is below the floor. Ties break on lowest member ID, so
+	// the merge order is deterministic.
+	smallest := func(exclude int) int {
+		best := -1
+		for i := range parts {
+			if i == exclude {
+				continue
+			}
+			if best < 0 || len(parts[i]) < len(parts[best]) ||
+				(len(parts[i]) == len(parts[best]) && parts[i][0] < parts[best][0]) {
+				best = i
+			}
+		}
+		return best
+	}
+	for len(parts) > 1 {
+		a := smallest(-1)
+		if len(parts) <= opt.Target && len(parts[a]) >= minMachines {
+			break
+		}
+		b := smallest(a)
+		merged := append(append([]MachineID(nil), parts[a]...), parts[b]...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		if a > b {
+			a, b = b, a
+		}
+		parts[a] = merged
+		parts = append(parts[:b], parts[b+1:]...)
+	}
+
+	sort.Slice(parts, func(i, j int) bool { return parts[i][0] < parts[j][0] })
+	return parts
+}
+
+// CheckPartition verifies that parts is a true partition of c's fleet:
+// every machine in exactly one part, each part ascending. Used by tests
+// and the partitioned solver's debugasserts hooks.
+func CheckPartition(c *Cluster, parts [][]MachineID) error {
+	seen := make([]bool, len(c.Machines))
+	total := 0
+	for pi, part := range parts {
+		if len(part) == 0 {
+			return fmt.Errorf("cluster: partition %d is empty", pi)
+		}
+		for i, m := range part {
+			if m < 0 || int(m) >= len(c.Machines) {
+				return fmt.Errorf("cluster: partition %d contains invalid machine %d", pi, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("cluster: machine %d appears in more than one partition", m)
+			}
+			seen[m] = true
+			if i > 0 && part[i-1] >= m {
+				return fmt.Errorf("cluster: partition %d not ascending at %d", pi, i)
+			}
+			total++
+		}
+	}
+	if total != len(c.Machines) {
+		return fmt.Errorf("cluster: partitions cover %d of %d machines", total, len(c.Machines))
+	}
+	return nil
+}

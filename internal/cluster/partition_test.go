@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rexchange/internal/vec"
+)
+
+// tieredCluster builds machines in three hardware shapes interleaved by ID,
+// with a few shards placed pseudo-randomly.
+func tieredCluster(t *testing.T, machines, shards int, seed int64) *Placement {
+	t.Helper()
+	c := &Cluster{}
+	shapes := []Machine{
+		{Capacity: vec.New(64, 512, 10), Speed: 1},
+		{Capacity: vec.New(128, 1024, 25), Speed: 1.8},
+		{Capacity: vec.New(256, 2048, 40), Speed: 3},
+	}
+	for m := 0; m < machines; m++ {
+		mm := shapes[m%len(shapes)]
+		mm.ID = MachineID(m)
+		c.Machines = append(c.Machines, mm)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for s := 0; s < shards; s++ {
+		c.Shards = append(c.Shards, Shard{
+			ID:     ShardID(s),
+			Static: vec.New(1+r.Float64(), 4+r.Float64(), 0.1),
+			Load:   r.Float64(),
+		})
+	}
+	p := NewPlacement(c)
+	for s := 0; s < shards; s++ {
+		for {
+			m := MachineID(r.Intn(machines))
+			if p.PlaceChecked(ShardID(s), m) {
+				break
+			}
+		}
+	}
+	return p
+}
+
+func TestPartitionByShapeClasses(t *testing.T) {
+	p := tieredCluster(t, 30, 60, 1)
+	c := p.Cluster()
+	parts := PartitionByShape(c, PartitionOptions{Target: 3})
+	if err := CheckPartition(c, parts); err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d partitions, want 3 shape classes", len(parts))
+	}
+	// Each partition must be shape-pure here: three classes, target 3.
+	for pi, part := range parts {
+		k := shapeOf(&c.Machines[part[0]])
+		for _, m := range part {
+			if shapeOf(&c.Machines[m]) != k {
+				t.Fatalf("partition %d mixes shapes at machine %d", pi, m)
+			}
+		}
+	}
+}
+
+func TestPartitionByShapeSplitsHomogeneous(t *testing.T) {
+	c := &Cluster{}
+	for m := 0; m < 40; m++ {
+		c.Machines = append(c.Machines, Machine{ID: MachineID(m), Capacity: vec.Uniform(100), Speed: 1})
+	}
+	c.Shards = []Shard{{ID: 0, Static: vec.Uniform(1), Load: 1}}
+	parts := PartitionByShape(c, PartitionOptions{Target: 4})
+	if err := CheckPartition(c, parts); err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("homogeneous fleet: got %d partitions, want 4", len(parts))
+	}
+	for _, part := range parts {
+		if len(part) != 10 {
+			t.Fatalf("uneven split: partition size %d, want 10", len(part))
+		}
+	}
+}
+
+func TestPartitionByShapeMergesTinyClasses(t *testing.T) {
+	c := &Cluster{}
+	for m := 0; m < 12; m++ {
+		c.Machines = append(c.Machines, Machine{ID: MachineID(m), Capacity: vec.Uniform(100), Speed: 1})
+	}
+	// One odd machine: its singleton class must be merged, not emitted.
+	c.Machines[11].Speed = 9
+	c.Shards = []Shard{{ID: 0, Static: vec.Uniform(1), Load: 1}}
+	parts := PartitionByShape(c, PartitionOptions{Target: 3, MinMachines: 2})
+	if err := CheckPartition(c, parts); err != nil {
+		t.Fatal(err)
+	}
+	for pi, part := range parts {
+		if len(part) < 2 {
+			t.Fatalf("partition %d has %d machines, floor is 2", pi, len(part))
+		}
+	}
+}
+
+func TestPartitionByShapeDeterministicAndDegenerate(t *testing.T) {
+	p := tieredCluster(t, 24, 40, 2)
+	c := p.Cluster()
+	a := PartitionByShape(c, PartitionOptions{Target: 5})
+	b := PartitionByShape(c, PartitionOptions{Target: 5})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PartitionByShape is not deterministic")
+	}
+	single := PartitionByShape(c, PartitionOptions{Target: 1})
+	if len(single) != 1 || len(single[0]) != c.NumMachines() {
+		t.Fatalf("Target=1 must yield one all-machine partition, got %d parts", len(single))
+	}
+}

@@ -141,15 +141,30 @@ func (p *Placement) IsVacant(m MachineID) bool { return len(p.on[m]) == 0 }
 // O(1) for the solver's vacancy-budget checks.
 func (p *Placement) NumVacant() int { return p.vacant }
 
-// VacantMachines returns the IDs of all machines hosting no shards.
+// VacantMachines returns the IDs of all machines hosting no shards. It
+// allocates the (exactly sized) result slice; hot paths that only need to
+// visit the vacant set should use EachVacant instead.
 func (p *Placement) VacantMachines() []MachineID {
-	var ids []MachineID
-	for m := range p.on {
+	ids := make([]MachineID, 0, p.vacant)
+	p.EachVacant(func(m MachineID) { ids = append(ids, m) })
+	return ids
+}
+
+// EachVacant calls f for every machine hosting no shards, in ascending
+// machine-ID order. It allocates nothing (the cross-partition exchange
+// phase calls it in its hot loop) and stops early once every vacant
+// machine has been visited. f must not mutate the placement.
+//
+//rexlint:noalloc
+func (p *Placement) EachVacant(f func(MachineID)) {
+	remaining := p.vacant
+	for m := 0; remaining > 0 && m < len(p.on); m++ {
 		if len(p.on[m]) == 0 {
-			ids = append(ids, MachineID(m))
+			//rexlint:ignore alloccheck the callback is the caller's; TestEachVacantAllocFree pins the hot-loop contract at runtime
+			f(MachineID(m))
+			remaining--
 		}
 	}
-	return ids
 }
 
 // CanPlace reports whether shard s fits on machine m: static capacities

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"rexchange/internal/vec"
+)
+
+// vacantFixture builds a placement with a known vacant pattern: machines
+// with even IDs host one shard each, odd IDs stay vacant.
+func vacantFixture(t *testing.T, machines int) *Placement {
+	t.Helper()
+	c := &Cluster{}
+	for m := 0; m < machines; m++ {
+		c.Machines = append(c.Machines, Machine{
+			ID: MachineID(m), Capacity: vec.Uniform(100), Speed: 1,
+		})
+	}
+	for s := 0; s < (machines+1)/2; s++ {
+		c.Shards = append(c.Shards, Shard{ID: ShardID(s), Static: vec.Uniform(1), Load: 1})
+	}
+	p := NewPlacement(c)
+	for s := 0; s < len(c.Shards); s++ {
+		if err := p.Place(ShardID(s), MachineID(2*s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestEachVacantMatchesVacantMachines(t *testing.T) {
+	p := vacantFixture(t, 17)
+	want := p.VacantMachines()
+	var got []MachineID
+	p.EachVacant(func(m MachineID) { got = append(got, m) })
+	if len(got) != len(want) || len(got) != p.NumVacant() {
+		t.Fatalf("EachVacant visited %d machines, VacantMachines %d, NumVacant %d",
+			len(got), len(want), p.NumVacant())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EachVacant order diverges at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+
+	// Mutations must be reflected: fill one vacant machine, vacate another.
+	if err := p.Remove(0); err != nil { // machine 0 becomes vacant
+		t.Fatal(err)
+	}
+	if err := p.Place(0, 1); err != nil { // machine 1 stops being vacant
+		t.Fatal(err)
+	}
+	got = got[:0]
+	p.EachVacant(func(m MachineID) { got = append(got, m) })
+	if len(got) != p.NumVacant() {
+		t.Fatalf("EachVacant visited %d machines after mutation, NumVacant %d", len(got), p.NumVacant())
+	}
+	seen0 := false
+	for _, m := range got {
+		if m == 1 {
+			t.Fatal("machine 1 reported vacant after hosting a shard")
+		}
+		if m == 0 {
+			seen0 = true
+		}
+	}
+	if !seen0 {
+		t.Fatal("machine 0 not reported vacant after Remove")
+	}
+}
+
+// TestEachVacantAllocFree guards the exchange phase's hot loop: visiting
+// the vacant set must not allocate. (VacantMachines allocates its result
+// slice by design; EachVacant is the allocation-free form.)
+func TestEachVacantAllocFree(t *testing.T) {
+	p := vacantFixture(t, 64)
+	count := 0
+	f := func(MachineID) { count++ }
+	if allocs := testing.AllocsPerRun(200, func() { p.EachVacant(f) }); allocs != 0 {
+		t.Fatalf("EachVacant allocates %.1f times per call, want 0", allocs)
+	}
+	if count == 0 {
+		t.Fatal("callback never invoked")
+	}
+}

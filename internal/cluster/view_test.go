@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestViewProjectsPartition(t *testing.T) {
+	p := tieredCluster(t, 18, 50, 3)
+	parts := PartitionByShape(p.Cluster(), PartitionOptions{Target: 3})
+	totalShards := 0
+	for _, part := range parts {
+		v, err := NewPlacementView(p, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.CheckProjection(p); err != nil {
+			t.Fatal(err)
+		}
+		sub := v.Sub()
+		totalShards += sub.Cluster().NumShards()
+		// Aggregates must be bit-copies, not recomputations.
+		for lm, gm := range v.Machines() {
+			if math.Float64bits(sub.Load(MachineID(lm))) != math.Float64bits(p.Load(gm)) {
+				t.Fatalf("machine %d load bits diverge from parent %d", lm, gm)
+			}
+			if sub.Count(MachineID(lm)) != p.Count(gm) {
+				t.Fatalf("machine %d count %d, parent %d has %d",
+					lm, sub.Count(MachineID(lm)), gm, p.Count(gm))
+			}
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if totalShards != p.Cluster().NumShards() {
+		t.Fatalf("views cover %d shards, cluster has %d", totalShards, p.Cluster().NumShards())
+	}
+}
+
+// TestViewIdentityIsBitExact pins the golden property the single-partition
+// solve path depends on: a view over every machine reproduces the parent
+// placement bit-for-bit — same IDs, same hosted order, same aggregate bits
+// — even when the parent's aggregates carry rounding residue from a long
+// mutation history that a from-scratch rebuild would not reproduce.
+func TestViewIdentityIsBitExact(t *testing.T) {
+	p := tieredCluster(t, 12, 40, 4)
+	// Accumulate floating-point history: move shards around and back.
+	for s := 0; s < 40; s++ {
+		home := p.Home(ShardID(s))
+		p.Move(ShardID(s), MachineID((int(home)+1)%12))
+		p.Move(ShardID(s), home)
+	}
+	all := make([]MachineID, 12)
+	for i := range all {
+		all[i] = MachineID(i)
+	}
+	v, err := NewPlacementView(p, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := v.Sub()
+	for s := 0; s < p.Cluster().NumShards(); s++ {
+		if v.GlobalShard(ShardID(s)) != ShardID(s) {
+			t.Fatalf("identity view renumbered shard %d", s)
+		}
+		if sub.Home(ShardID(s)) != p.Home(ShardID(s)) {
+			t.Fatalf("shard %d home differs", s)
+		}
+	}
+	for m := 0; m < 12; m++ {
+		id := MachineID(m)
+		if math.Float64bits(sub.Load(id)) != math.Float64bits(p.Load(id)) {
+			t.Fatalf("machine %d load bits differ: %x vs %x",
+				m, math.Float64bits(sub.Load(id)), math.Float64bits(p.Load(id)))
+		}
+		for i := 0; i < sub.Count(id); i++ {
+			if sub.ShardAt(id, i) != p.ShardAt(id, i) {
+				t.Fatalf("machine %d hosted order differs at slot %d", m, i)
+			}
+		}
+	}
+}
+
+func TestViewApplyWritesBack(t *testing.T) {
+	p := tieredCluster(t, 9, 24, 5)
+	parts := PartitionByShape(p.Cluster(), PartitionOptions{Target: 3})
+	v, err := NewPlacementView(p, parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := v.Sub()
+	if sub.Cluster().NumShards() == 0 {
+		t.Skip("partition hosts no shards for this seed")
+	}
+	// Rotate every view shard to the next partition machine that fits.
+	moved := sub.Clone()
+	n := moved.Cluster().NumMachines()
+	for s := 0; s < moved.Cluster().NumShards(); s++ {
+		home := moved.Home(ShardID(s))
+		for off := 1; off < n; off++ {
+			if moved.MoveChecked(ShardID(s), MachineID((int(home)+off)%n)) {
+				break
+			}
+		}
+	}
+	outside := map[ShardID]MachineID{}
+	inView := make(map[ShardID]bool)
+	for ls := 0; ls < v.NumShards(); ls++ {
+		inView[v.GlobalShard(ShardID(ls))] = true
+	}
+	for s := 0; s < p.Cluster().NumShards(); s++ {
+		if !inView[ShardID(s)] {
+			outside[ShardID(s)] = p.Home(ShardID(s))
+		}
+	}
+	if err := v.Apply(p, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for ls := 0; ls < v.NumShards(); ls++ {
+		gs := v.GlobalShard(ShardID(ls))
+		want := v.GlobalMachine(moved.Home(ShardID(ls)))
+		if p.Home(gs) != want {
+			t.Fatalf("shard %d on machine %d after apply, want %d", gs, p.Home(gs), want)
+		}
+	}
+	for s, m := range outside {
+		if p.Home(s) != m {
+			t.Fatalf("apply touched out-of-view shard %d", s)
+		}
+	}
+}
+
+func TestViewApplyRejectsShapeMismatch(t *testing.T) {
+	p := tieredCluster(t, 9, 24, 6)
+	parts := PartitionByShape(p.Cluster(), PartitionOptions{Target: 3})
+	v0, err := NewPlacementView(p, parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := NewPlacementView(p, parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Assignment()
+	if err := v0.Apply(p, v1.Sub()); err == nil {
+		if v0.NumShards() != v1.NumShards() || len(parts[0]) != len(parts[1]) {
+			t.Fatal("apply accepted a placement from a different view shape")
+		}
+	}
+	for s, m := range p.Assignment() {
+		if before[s] != m {
+			t.Fatal("failed apply mutated the parent")
+		}
+	}
+}
+
+func TestViewRejectsBadInput(t *testing.T) {
+	p := tieredCluster(t, 6, 10, 7)
+	if _, err := NewPlacementView(p, nil); err == nil {
+		t.Error("empty machine list accepted")
+	}
+	if _, err := NewPlacementView(p, []MachineID{2, 1}); err == nil {
+		t.Error("descending machine list accepted")
+	}
+	if _, err := NewPlacementView(p, []MachineID{1, 1}); err == nil {
+		t.Error("duplicate machine accepted")
+	}
+	if _, err := NewPlacementView(p, []MachineID{99}); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	p.BeginTxn()
+	if _, err := NewPlacementView(p, []MachineID{0}); err == nil {
+		t.Error("mid-transaction view accepted")
+	}
+	p.Rollback()
+}

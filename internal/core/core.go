@@ -201,6 +201,11 @@ type Result struct {
 	// SolveParallel (always 0 for Solve). A non-zero value means the
 	// returned best came from a degraded portfolio.
 	FailedRestarts int
+	// FailedPartitions counts partition sub-solves that returned an error
+	// in SolvePartitioned (always 0 for Solve and SolveParallel). A failed
+	// partition keeps its pre-round placement, so a non-zero value means
+	// parts of the fleet went unoptimized this run.
+	FailedPartitions int
 	// Trajectory is the best objective after each iteration when
 	// Config.KeepTrajectory is set.
 	Trajectory []float64

@@ -17,10 +17,10 @@ func TestSolveParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Seed = 424242
 
-	run := func(procs int) ([]int32, float64) {
+	run := func(procs, restarts int) ([]int32, float64) {
 		prev := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(prev)
-		res, err := New(cfg).SolveParallel(inst, 4)
+		res, err := New(cfg).SolveParallel(inst, restarts)
 		if err != nil {
 			t.Fatalf("SolveParallel with GOMAXPROCS=%d: %v", procs, err)
 		}
@@ -32,8 +32,8 @@ func TestSolveParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		return out, res.Objective
 	}
 
-	serialAssign, serialObj := run(1)
-	parallelAssign, parallelObj := run(8)
+	serialAssign, serialObj := run(1, 4)
+	parallelAssign, parallelObj := run(8, 4)
 
 	if math.Float64bits(serialObj) != math.Float64bits(parallelObj) {
 		t.Errorf("objective differs across GOMAXPROCS: %v (serial) vs %v (parallel)",
@@ -49,9 +49,36 @@ func TestSolveParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		}
 	}
 
+	// The defaulted path (restarts <= 0) must be just as deterministic:
+	// the default portfolio width is the pinned DefaultRestarts constant,
+	// never GOMAXPROCS, so a 1-core box and an 8-core box run the same
+	// searches. (Before the fix, restarts=0 meant GOMAXPROCS restarts, and
+	// a 1-core box even skipped seed decorrelation entirely through the
+	// restarts == 1 shortcut.)
+	defSerialAssign, defSerialObj := run(1, 0)
+	defParallelAssign, defParallelObj := run(8, 0)
+	if math.Float64bits(defSerialObj) != math.Float64bits(defParallelObj) {
+		t.Errorf("defaulted-restarts objective differs across GOMAXPROCS: %v vs %v",
+			defSerialObj, defParallelObj)
+	}
+	for s := range defSerialAssign {
+		if defSerialAssign[s] != defParallelAssign[s] {
+			t.Fatalf("defaulted restarts: shard %d assigned to %d (serial) vs %d (parallel)",
+				s, defSerialAssign[s], defParallelAssign[s])
+		}
+	}
+	if DefaultRestarts == 4 {
+		// With the default width equal to this test's explicit width, the
+		// defaulted portfolio must be the explicit one exactly.
+		if math.Float64bits(defSerialObj) != math.Float64bits(serialObj) {
+			t.Errorf("defaulted portfolio diverges from explicit restarts=4: %v vs %v",
+				defSerialObj, serialObj)
+		}
+	}
+
 	// The same run repeated must also be identical to itself (guards
 	// against hidden global state between invocations).
-	againAssign, againObj := run(8)
+	againAssign, againObj := run(8, 4)
 	if math.Float64bits(againObj) != math.Float64bits(parallelObj) {
 		t.Errorf("objective differs between identical runs: %v vs %v", againObj, parallelObj)
 	}

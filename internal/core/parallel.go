@@ -8,23 +8,36 @@ import (
 	"rexchange/internal/cluster"
 )
 
+// Note: runtime.GOMAXPROCS is used only to cap worker concurrency (a pure
+// throughput knob); it must never influence which searches run.
+
+// DefaultRestarts is the portfolio width used when SolveParallel is called
+// with restarts <= 0. It is a pinned constant — never derived from
+// GOMAXPROCS or any other machine property — so that a defaulted portfolio
+// runs the same set of searches on every host. (The pre-fix behaviour
+// defaulted to GOMAXPROCS, which silently violated the documented
+// determinism contract: a 1-core box would even collapse to a single
+// undetected restart via the restarts == 1 shortcut.)
+const DefaultRestarts = 4
+
 // SolveParallel runs `restarts` independent LNS searches concurrently —
 // same configuration, decorrelated seeds — and returns the best result by
 // solver objective. LNS is embarrassingly parallel across restarts and the
 // placement state is cloned per worker, so speedup is near-linear until
 // memory bandwidth binds. The input placement is shared read-only and
-// never modified.
+// never modified. restarts <= 0 selects the pinned DefaultRestarts.
 //
 // Determinism: for a fixed (Config.Seed, restarts) the set of searches and
-// the returned result are reproducible regardless of scheduling, because
-// selection uses the objective with the restart index as tie-breaker.
+// the returned result are reproducible regardless of scheduling — and of
+// GOMAXPROCS, including on the defaulted path — because selection uses the
+// objective with the restart index as tie-breaker.
 //
 // Individual restart failures do not abort the portfolio: the best
 // successful result is returned with Result.FailedRestarts counting the
 // losses, and an error is returned only when every restart failed.
 func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, error) {
 	if restarts <= 0 {
-		restarts = runtime.GOMAXPROCS(0)
+		restarts = DefaultRestarts
 	}
 	if restarts == 1 {
 		return sv.Solve(p)
@@ -43,8 +56,7 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := sv.cfg
-			// decorrelate: large odd stride over the seed space
-			cfg.Seed = sv.cfg.Seed + int64(i)*0x9E3779B1
+			cfg.Seed = workerSeed(sv.cfg.Seed, i)
 			res, err := New(cfg).Solve(p)
 			outcomes[i] = outcome{res, err}
 		}(i)
@@ -57,6 +69,34 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 type outcome struct {
 	res *Result
 	err error
+}
+
+// mix64 is the splitmix64 finalizer: an avalanching bijection on uint64.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// workerSeed derives the seed of restart i from the base seed. Index 0
+// keeps the base seed unchanged so a portfolio always contains the
+// single-run search (TestSolveParallelAtLeastAsGoodAsSingle relies on it).
+// Higher indices hash the *mixed* base with a Weyl-sequence step and
+// re-mix, a splitmix64-style combination of (Seed, i).
+//
+// The additive stride this replaces — Seed + i·0x9E3779B1 — made restart i
+// of a run seeded S collide with restart i−1 of a run seeded S+0x9E3779B1,
+// so stride-spaced seed sweeps silently ran correlated (duplicate)
+// searches. Hashing the base seed before the stride is applied removes
+// that structure: a collision now requires mix64(S)−mix64(S′) to land
+// exactly on a small multiple of the 64-bit golden ratio, which no simple
+// seed-sweep pattern produces. TestWorkerSeedsPairwiseDistinct pins both
+// the old failure shape and general pairwise distinctness.
+func workerSeed(base int64, i int) int64 {
+	if i == 0 {
+		return base
+	}
+	return int64(mix64(mix64(uint64(base)) + uint64(i)*0x9E3779B97F4A7C15))
 }
 
 // reduceOutcomes selects the best successful restart by objective (ties

@@ -404,8 +404,20 @@ func (c *Controller) solveRound(stat *RoundStat) {
 		scfg.Recorder = c.recorder
 	}
 	wallStart := time.Now() //rexlint:ignore clockpurity wall time feeds metrics only, never decisions
-	//rexlint:transfer planning is the controller's private clone; the live placement stays behind the mutex
-	res, err := core.New(scfg).SolveParallel(planning, c.cfg.Budget.Restarts)
+	var res *core.Result
+	var err error
+	if c.cfg.Budget.Partitions > 1 {
+		pc := core.DefaultPartitionConfig()
+		pc.Partitions = c.cfg.Budget.Partitions
+		pc.ExchangeRounds = c.cfg.Budget.ExchangeRounds
+		// No transfer annotation needed: SolvePartitioned clones planning
+		// before any goroutine sees it (each partition goroutine owns its
+		// PlacementView), which sharecheck proves interprocedurally.
+		res, err = core.New(scfg).SolvePartitioned(planning, pc)
+	} else {
+		//rexlint:transfer planning is the controller's private clone; the live placement stays behind the mutex
+		res, err = core.New(scfg).SolveParallel(planning, c.cfg.Budget.Restarts)
+	}
 	if c.m != nil {
 		// Wall time feeds metrics only; the journal sticks to Clock
 		// seconds so virtual-clock runs stay bit-reproducible.

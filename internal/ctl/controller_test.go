@@ -395,3 +395,54 @@ func ExamplePolicy() {
 	// true
 	// false
 }
+
+// TestControllerPartitionedSolve runs the control loop end-to-end with the
+// partitioned parallel solver (Budget.Partitions > 1): the fleet's three
+// hardware tiers become resource-equivalence partitions, each solve round
+// splits the iteration budget across them, and the trajectory must both
+// converge and stay bit-identical across GOMAXPROCS — the partitioned
+// path's concurrency must be as unobservable as the restart portfolio's.
+func TestControllerPartitionedSolve(t *testing.T) {
+	runAt := func(procs int) (float64, []RoundStat) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg, p, src := e2eConfig(t, 120, 1440, 17)
+		cfg.Budget = Budget{Iterations: 400, Partitions: 4, ExchangeRounds: 1, SolveSeconds: 1}
+		c, err := New(cfg, NewVirtualClock(), p, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := c.Report().Imbalance
+		if err := c.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		live := c.SnapshotPlacement()
+		if err := live.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return initial, c.History()
+	}
+
+	initial, hist := runAt(1)
+	solves := 0
+	for _, st := range hist {
+		if st.Err != "" {
+			t.Fatalf("round %d recorded error: %s", st.Round, st.Err)
+		}
+		if st.Solved {
+			solves++
+		}
+	}
+	if solves == 0 {
+		t.Fatal("partitioned controller never solved")
+	}
+	if conv := convergedImbalance(hist); conv >= initial {
+		t.Fatalf("partitioned solves never improved imbalance: initial %.4f, best post-solve %.4f",
+			initial, conv)
+	}
+
+	_, histMany := runAt(4)
+	if !reflect.DeepEqual(hist, histMany) {
+		t.Fatalf("partitioned trajectory differs across GOMAXPROCS:\n 1: %+v\n 4: %+v", hist, histMany)
+	}
+}

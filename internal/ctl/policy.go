@@ -64,12 +64,26 @@ func (p Policy) ShouldSolve(imb float64, campaign, migrating bool, now, lastSolv
 // Budget bounds one solve round. The LNS iteration count is the paper's
 // natural work unit (wall time per iteration is instance-dependent but
 // stable), and restarts multiply it across cores via core.SolveParallel.
+// When Partitions > 1 the round runs core.SolvePartitioned instead: the
+// fleet is factored into resource-equivalence partitions solved
+// concurrently on slices of the iteration budget, with ExchangeRounds
+// cross-partition exchange phases in between.
 type Budget struct {
-	// Iterations is the LNS iteration budget per restart.
+	// Iterations is the LNS iteration budget per restart (or the global
+	// budget split across partitions when Partitions > 1).
 	Iterations int
 	// Restarts is the number of parallel SRA restarts (best result wins);
-	// 0 means GOMAXPROCS.
+	// 0 means the pinned core.DefaultRestarts — never GOMAXPROCS, so a
+	// defaulted budget runs the same searches on every host. Ignored when
+	// Partitions > 1.
 	Restarts int
+	// Partitions, when > 1, selects the partitioned parallel solver with
+	// this target partition count. 0 or 1 keeps the whole-cluster
+	// restart portfolio.
+	Partitions int
+	// ExchangeRounds bounds the cross-partition exchange phases per solve
+	// when Partitions > 1; 0 solves each partition once with no exchange.
+	ExchangeRounds int
 	// SolveSeconds is the modeled latency charged to the clock per solve
 	// round. On the virtual clock it stands in for real solver runtime so
 	// simulated schedules stay honest; on the wall clock real time passes
@@ -91,6 +105,12 @@ func (b Budget) validate() error {
 	}
 	if b.Restarts < 0 {
 		return fmt.Errorf("ctl: negative Budget.Restarts %d", b.Restarts)
+	}
+	if b.Partitions < 0 {
+		return fmt.Errorf("ctl: negative Budget.Partitions %d", b.Partitions)
+	}
+	if b.ExchangeRounds < 0 {
+		return fmt.Errorf("ctl: negative Budget.ExchangeRounds %d", b.ExchangeRounds)
 	}
 	if b.SolveSeconds < 0 {
 		return fmt.Errorf("ctl: negative Budget.SolveSeconds %g", b.SolveSeconds)

@@ -12,6 +12,15 @@ type SolverRecorder struct {
 	runs       *Counter
 	runSeconds *Histogram
 	rate       *Gauge
+
+	// Partitioned-solve families (core.PartitionRecorder). Partition
+	// sub-solves flush through the plain Recorder methods like any run;
+	// these add the per-round partitioned topology and exchange volume.
+	partitionRounds *Counter
+	partitionSolves *Counter
+	partitionObj    *Gauge
+	exchangeShards  *Counter
+	exchangeVacant  *Counter
 }
 
 // NewSolverRecorder registers the solver metric families on reg.
@@ -26,7 +35,31 @@ func NewSolverRecorder(reg *Registry) *SolverRecorder {
 			"Wall-clock duration of one SRA run.", TimeBuckets()),
 		rate: reg.Gauge("rex_solver_iterations_per_second",
 			"Iteration throughput of the most recently completed run."),
+		partitionRounds: reg.Counter("rex_solver_partition_rounds_total",
+			"Partitioned-solve rounds (each round solves the dirty partitions once)."),
+		partitionSolves: reg.Counter("rex_solver_partition_solves_total",
+			"Partition sub-solves completed across partitioned rounds."),
+		partitionObj: reg.Gauge("rex_solver_partition_round_objective",
+			"Global objective after the most recent partitioned round."),
+		exchangeShards: reg.Counter("rex_solver_exchange_shard_moves_total",
+			"Shards traded hot-to-cool by the cross-partition exchange phase."),
+		exchangeVacant: reg.Counter("rex_solver_exchange_vacant_trades_total",
+			"Vacant machines re-homed into the hottest partition by the exchange phase."),
 	}
+}
+
+// RecordPartitionRound records one partitioned solve round's topology and
+// the global objective after applying the partition results.
+func (s *SolverRecorder) RecordPartitionRound(partitions, solved int, objective float64) {
+	s.partitionRounds.Inc()
+	s.partitionSolves.Add(float64(solved))
+	s.partitionObj.Set(objective)
+}
+
+// RecordExchange records one cross-partition exchange phase's trades.
+func (s *SolverRecorder) RecordExchange(shardMoves, vacantTrades int) {
+	s.exchangeShards.Add(float64(shardMoves))
+	s.exchangeVacant.Add(float64(vacantTrades))
 }
 
 // RecordIterations counts n LNS iterations that hit one (destroy, repair,

@@ -1,0 +1,47 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"rexchange/internal/core"
+	"rexchange/internal/obs"
+)
+
+// The SolverRecorder must satisfy both recorder interfaces: the plain
+// per-run one and the partitioned extension core.SolvePartitioned discovers
+// by type assertion.
+var (
+	_ core.Recorder          = (*obs.SolverRecorder)(nil)
+	_ core.PartitionRecorder = (*obs.SolverRecorder)(nil)
+)
+
+// TestSolverRecorderPartitionMetrics drives the PartitionRecorder methods
+// and checks the partitioned families land in the exposition with the
+// expected values.
+func TestSolverRecorderPartitionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewSolverRecorder(reg)
+
+	rec.RecordPartitionRound(4, 4, 1.75)
+	rec.RecordPartitionRound(4, 2, 1.42)
+	rec.RecordExchange(5, 1)
+	rec.RecordExchange(3, 0)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"rex_solver_partition_rounds_total 2",
+		"rex_solver_partition_solves_total 6",
+		"rex_solver_partition_round_objective 1.42",
+		"rex_solver_exchange_shard_moves_total 8",
+		"rex_solver_exchange_vacant_trades_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
