@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rexchange/internal/cluster"
+	"rexchange/internal/rng"
 )
 
 // Note: runtime.GOMAXPROCS is used only to cap worker concurrency (a pure
@@ -56,7 +57,7 @@ func (sv *Solver) SolveParallel(p *cluster.Placement, restarts int) (*Result, er
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			cfg := sv.cfg
-			cfg.Seed = workerSeed(sv.cfg.Seed, i)
+			cfg.Seed = rng.WorkerSeed(sv.cfg.Seed, i)
 			res, err := New(cfg).Solve(p)
 			outcomes[i] = outcome{res, err}
 		}(i)
@@ -71,33 +72,12 @@ type outcome struct {
 	err error
 }
 
-// mix64 is the splitmix64 finalizer: an avalanching bijection on uint64.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
-// workerSeed derives the seed of restart i from the base seed. Index 0
-// keeps the base seed unchanged so a portfolio always contains the
-// single-run search (TestSolveParallelAtLeastAsGoodAsSingle relies on it).
-// Higher indices hash the *mixed* base with a Weyl-sequence step and
-// re-mix, a splitmix64-style combination of (Seed, i).
-//
-// The additive stride this replaces — Seed + i·0x9E3779B1 — made restart i
-// of a run seeded S collide with restart i−1 of a run seeded S+0x9E3779B1,
-// so stride-spaced seed sweeps silently ran correlated (duplicate)
-// searches. Hashing the base seed before the stride is applied removes
-// that structure: a collision now requires mix64(S)−mix64(S′) to land
-// exactly on a small multiple of the 64-bit golden ratio, which no simple
-// seed-sweep pattern produces. TestWorkerSeedsPairwiseDistinct pins both
-// the old failure shape and general pairwise distinctness.
-func workerSeed(base int64, i int) int64 {
-	if i == 0 {
-		return base
-	}
-	return int64(mix64(mix64(uint64(base)) + uint64(i)*0x9E3779B97F4A7C15))
-}
+// Seed derivation lives in internal/rng: rng.WorkerSeed keeps restart 0 on
+// the base seed (the portfolio always contains the plain single run) and
+// splitmix64-decorrelates the rest; rng.CellSeed extends the construction
+// to the partitioned solver's (round, partition) grid. The
+// pairwise-distinctness regression tests (including the historical
+// stride-collision shape) moved to internal/rng with the helpers.
 
 // reduceOutcomes selects the best successful restart by objective (ties
 // resolved by restart index, never completion order, preserving the

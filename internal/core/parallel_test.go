@@ -78,49 +78,10 @@ func TestSolveParallelSingleRestartDelegates(t *testing.T) {
 	}
 }
 
-// TestWorkerSeedsPairwiseDistinct pins the seed-decorrelation fix. The old
-// additive stride (Seed + i*0x9E3779B1) made restart i of a run seeded S
-// reuse the seed of restart i-1 of a run seeded S+0x9E3779B1, so stride-
-// spaced seed sweeps ran duplicate searches. The splitmix64-style mix must
-// produce pairwise-distinct worker seeds across a sweep of base seeds in
-// every pattern a harness plausibly uses: consecutive, stride-spaced (the
-// old collision), and golden-ratio-spaced.
-func TestWorkerSeedsPairwiseDistinct(t *testing.T) {
-	const restarts = 64
-	bases := []int64{1, 2, 3, 42}
-	goldenGamma := int64(-7046029254386353131) // 0x9E3779B97F4A7C15 as int64
-	for _, step := range []int64{1, 0x9E3779B1, -0x9E3779B1, goldenGamma} {
-		for i := int64(1); i <= 4; i++ {
-			bases = append(bases, 7+i*step)
-		}
-	}
-	seen := make(map[int64][2]int64, len(bases)*restarts)
-	for _, base := range bases {
-		for i := 0; i < restarts; i++ {
-			s := workerSeed(base, i)
-			if prev, dup := seen[s]; dup {
-				t.Fatalf("worker seed collision: (base=%d, i=%d) and (base=%d, i=%d) both map to %d",
-					base, int64(i), prev[0], prev[1], s)
-			}
-			seen[s] = [2]int64{base, int64(i)}
-		}
-	}
-
-	// The exact pre-fix failure shape, spelled out: restart i of seed S
-	// must not equal restart i-1 of seed S+0x9E3779B1.
-	const oldStride = 0x9E3779B1
-	for i := 1; i < restarts; i++ {
-		if workerSeed(100, i) == workerSeed(100+oldStride, i-1) {
-			t.Fatalf("stride-shifted runs still share worker seeds at i=%d", i)
-		}
-	}
-
-	// Restart 0 must keep the base seed so the portfolio contains the
-	// plain single run.
-	if workerSeed(1234, 0) != 1234 {
-		t.Fatalf("workerSeed(base, 0) = %d, want the base seed", workerSeed(1234, 0))
-	}
-}
+// The worker-seed pairwise-distinctness regression (including the
+// historical additive-stride collision shape) moved to internal/rng with
+// the seed-derivation helpers; TestSolveParallelAtLeastAsGoodAsSingle
+// above still pins that restart 0 runs the base-seed search.
 
 func TestSolveParallelPropagatesErrors(t *testing.T) {
 	p := smallInstance(t, 59, 1)

@@ -9,6 +9,7 @@ import (
 	"rexchange/internal/cluster"
 	"rexchange/internal/metrics"
 	"rexchange/internal/plan"
+	"rexchange/internal/rng"
 )
 
 // This file implements the partitioned parallel solver: the fleet is
@@ -203,7 +204,7 @@ func (sv *Solver) SolvePartitioned(p *cluster.Placement, pc PartitionConfig) (*R
 					return
 				}
 				pcfg := cfg
-				pcfg.Seed = partitionSeed(cfg.Seed, round, pi)
+				pcfg.Seed = rng.CellSeed(cfg.Seed, round, pi)
 				pcfg.Iterations = sliceIterations(cfg.Iterations, v.NumShards(), totalShards, pc.MinIterations)
 				pcfg.ReturnCount = kByPart[pi]
 				pcfg.KeepTrajectory = false
@@ -300,15 +301,11 @@ func (sv *Solver) SolvePartitioned(p *cluster.Placement, pc PartitionConfig) (*R
 	}, nil
 }
 
-// partitionSeed derives the sub-solver seed for one (round, partition) cell
-// from the base seed by chained splitmix64 steps — the same construction as
-// workerSeed, extended to two indices so no two cells collide structurally.
-func partitionSeed(base int64, round, part int) int64 {
-	z := mix64(uint64(base))
-	z = mix64(z + uint64(round+1)*0x9E3779B97F4A7C15)
-	z = mix64(z + uint64(part+1)*0x9E3779B97F4A7C15)
-	return int64(z)
-}
+// Sub-solver seeds for (round, partition) cells come from rng.CellSeed:
+// chained splitmix64 steps — the same construction as rng.WorkerSeed,
+// extended to two indices so no two cells collide structurally.
+// TestCellSeedMatchesLegacyPartitionSeed in internal/rng pins the exact
+// bit pattern so the extraction cannot shift solver trajectories.
 
 // sliceIterations splits the global iteration budget proportionally to the
 // partition's shard share, floored so small partitions still search.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"rexchange/internal/cluster"
+	"rexchange/internal/rng"
 	"rexchange/internal/vec"
 )
 
@@ -117,7 +118,7 @@ func TestSolvePartitionedClosedEquivalence(t *testing.T) {
 			continue
 		}
 		pcfg := cfg
-		pcfg.Seed = partitionSeed(cfg.Seed, 0, pi)
+		pcfg.Seed = rng.CellSeed(cfg.Seed, 0, pi)
 		pcfg.Iterations = sliceIterations(cfg.Iterations, v.NumShards(), totalShards, 50)
 		pcfg.ReturnCount = kByPart[pi]
 		sub, err := New(pcfg).Solve(v.Sub())

@@ -66,6 +66,28 @@ func (s MoveStatus) String() string {
 // returning true fails that attempt. A nil FailureFunc never fails.
 type FailureFunc func(mv plan.Move, attempt int) bool
 
+// MoveObserver receives copy lifecycle callbacks from the executor. The
+// discrete-event simulator uses it to degrade the source machine's
+// effective service capacity while a copy is streaming off it and to
+// reroute queries once the move commits; chaos tooling can use it to
+// correlate failures with in-flight work.
+//
+// Callbacks fire synchronously on the executor's Tick path (the single
+// control-loop goroutine), in deterministic order, with Clock timestamps.
+// Implementations must not call back into the executor or controller.
+// Every MoveStarted is paired with exactly one MoveFinished: committed is
+// true when the copy landed and the shard now lives on mv.To, false when
+// the attempt failed (a retry may follow as a fresh MoveStarted) or the
+// copy was aborted by plan supersession.
+type MoveObserver interface {
+	// MoveStarted reports a copy dispatch at time at, expected to finish
+	// at eta (absolute Clock seconds).
+	MoveStarted(mv plan.Move, at, eta float64)
+	// MoveFinished reports the end of the in-flight copy started by the
+	// matching MoveStarted.
+	MoveFinished(mv plan.Move, at float64, committed bool)
+}
+
 // ExecConfig parameterizes the asynchronous migration executor.
 type ExecConfig struct {
 	// Migration supplies the per-move bandwidth model and the bound on
@@ -81,6 +103,9 @@ type ExecConfig struct {
 	BackoffBase, BackoffMax float64
 	// Failure injects copy failures; nil never fails.
 	Failure FailureFunc
+	// Observer, when non-nil, receives copy lifecycle callbacks (see
+	// MoveObserver). The discrete-event simulator installs itself here.
+	Observer MoveObserver
 }
 
 // DefaultExecConfig matches the offline simulator's default bandwidth with
@@ -254,6 +279,9 @@ func (e *Executor) abort() {
 				e.m.aborted.Inc()
 			}
 			e.emitMove(e.lastNow, obs.PhaseEnd, obs.OutcomeAborted, i, st, e.lastNow-st.startedAt)
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.MoveFinished(st.mv, e.lastNow, false)
+			}
 		case MovePending, MoveRetrying:
 			e.counters.Cancelled++
 			if e.m != nil {
@@ -371,6 +399,9 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 				e.m.failures.Inc()
 			}
 			e.emitMove(st.finishAt, obs.PhaseEnd, obs.OutcomeFailed, best, st, copySecs)
+			if e.cfg.Observer != nil {
+				e.cfg.Observer.MoveFinished(mv, st.finishAt, false)
+			}
 			if st.attempts >= e.cfg.MaxAttempts {
 				// Terminal failure. Mark the move cancelled here — its
 				// reservation is already released above, so the abort()
@@ -402,6 +433,9 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 			e.m.completed.Inc()
 		}
 		e.emitMove(st.finishAt, obs.PhaseEnd, obs.OutcomeOK, best, st, copySecs)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.MoveFinished(mv, st.finishAt, true)
+		}
 	}
 }
 
@@ -469,6 +503,9 @@ func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
 			}
 		}
 		e.emitMove(now, obs.PhaseBegin, "", i, st, 0)
+		if e.cfg.Observer != nil {
+			e.cfg.Observer.MoveStarted(mv, now, st.finishAt)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -302,5 +303,88 @@ func TestExecutorZeroPlanIsDone(t *testing.T) {
 	}
 	if _, ok := ex.NextEvent(0); ok {
 		t.Fatal("no events expected")
+	}
+}
+
+// obsLog records MoveObserver callbacks for inspection.
+type obsLog struct {
+	events []string
+	open   map[cluster.ShardID]int // shards with a started-but-unfinished copy
+}
+
+func newObsLog() *obsLog { return &obsLog{open: map[cluster.ShardID]int{}} }
+
+func (o *obsLog) MoveStarted(mv plan.Move, at, eta float64) {
+	if eta <= at {
+		panic("eta not after start")
+	}
+	o.open[mv.S]++
+	o.events = append(o.events, fmt.Sprintf("start s%d %g", mv.S, at))
+}
+
+func (o *obsLog) MoveFinished(mv plan.Move, at float64, committed bool) {
+	if o.open[mv.S] <= 0 {
+		panic("finish without matching start")
+	}
+	o.open[mv.S]--
+	o.events = append(o.events, fmt.Sprintf("finish s%d %g %v", mv.S, at, committed))
+}
+
+// TestExecutorObserverLifecycle: every dispatch pairs with exactly one
+// finish; failed attempts and aborted copies report committed=false,
+// landed copies committed=true.
+func TestExecutorObserverLifecycle(t *testing.T) {
+	c := mkCluster([]float64{10, 10}, []float64{4})
+	live := mustPlacement(t, c, []cluster.MachineID{0})
+	target := mustPlacement(t, c, []cluster.MachineID{1})
+	pl, err := plan.DefaultPlanner().Build(live, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newObsLog()
+	cfg := execCfg(1)
+	cfg.BackoffBase = 1
+	cfg.Observer = log
+	cfg.Failure = func(mv plan.Move, attempt int) bool { return attempt == 1 }
+	ex := newExec(t, c, cfg)
+	ex.SetPlan(pl)
+	clock := NewVirtualClock()
+	drive(t, ex, live, clock)
+
+	// copy 4s fails at t=4, retries at t=5, commits at t=9
+	want := []string{"start s0 0", "finish s0 4 false", "start s0 5", "finish s0 9 true"}
+	if len(log.events) != len(want) {
+		t.Fatalf("events = %v, want %v", log.events, want)
+	}
+	for i := range want {
+		if log.events[i] != want[i] {
+			t.Fatalf("event[%d] = %q, want %q", i, log.events[i], want[i])
+		}
+	}
+
+	// Supersession aborts an in-flight copy with committed=false.
+	live2 := mustPlacement(t, c, []cluster.MachineID{0})
+	target2 := mustPlacement(t, c, []cluster.MachineID{1})
+	pl2, err := plan.DefaultPlanner().Build(live2, target2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2 := newObsLog()
+	cfg2 := execCfg(1)
+	cfg2.Observer = log2
+	ex2 := newExec(t, c, cfg2)
+	ex2.SetPlan(pl2)
+	if err := ex2.Tick(live2, 0); err != nil {
+		t.Fatal(err)
+	}
+	ex2.SetPlan(nil) // abort mid-flight
+	want2 := []string{"start s0 0", "finish s0 0 false"}
+	if len(log2.events) != 2 || log2.events[0] != want2[0] || log2.events[1] != want2[1] {
+		t.Fatalf("abort events = %v, want %v", log2.events, want2)
+	}
+	for s, n := range log2.open {
+		if n != 0 {
+			t.Fatalf("shard %d left with %d unmatched starts", s, n)
+		}
 	}
 }

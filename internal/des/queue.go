@@ -1,0 +1,114 @@
+package des
+
+// LegState is the lifecycle of one query leg inside a machine queue. The
+// transition table is machine-checked by rexlint's statecheck analyzer:
+// a leg can never skip the queue, run twice, or complete from the queued
+// state.
+//
+//rexlint:transition LegQueued -> LegRunning
+//rexlint:transition LegRunning -> LegDone
+//rexlint:transition LegDone ->
+type LegState uint8
+
+// Leg lifecycle states.
+const (
+	// LegQueued: waiting in the machine's FIFO.
+	LegQueued LegState = iota
+	// LegRunning: at the head of the queue, being served.
+	LegRunning
+	// LegDone: service finished; the leg has merged back into its query.
+	LegDone
+)
+
+// String names the state for diagnostics.
+func (s LegState) String() string {
+	switch s {
+	case LegQueued:
+		return "queued"
+	case LegRunning:
+		return "running"
+	case LegDone:
+		return "done"
+	default:
+		return "leg(?)"
+	}
+}
+
+// leg is one unit of query work routed to a machine: the owning query and
+// the work to serve, in cluster Load units (speed-seconds).
+type leg struct {
+	q     int32
+	work  float64
+	state LegState
+}
+
+// machine is the simulator's per-machine serving state: a FIFO ring of
+// legs and the current service-rate modifiers. The ring grows on demand
+// and is reused across the whole run, so steady-state enqueue/dequeue
+// never allocates.
+type machine struct {
+	speed  float64 // cluster serving speed (Load units per second)
+	copies int     // outbound migration copies currently streaming
+
+	ring []leg // power-of-two capacity circular buffer
+	head int
+	n    int
+}
+
+// depth returns the number of legs queued or running on the machine.
+//
+//rexlint:noalloc
+func (m *machine) depth() int { return m.n }
+
+// push appends a leg in LegQueued state, growing the ring if full.
+func (m *machine) push(l leg) {
+	if m.n == len(m.ring) {
+		m.grow()
+	}
+	l.state = LegQueued
+	m.ring[(m.head+m.n)&(len(m.ring)-1)] = l
+	m.n++
+}
+
+// grow doubles the ring, rebasing the live window to index 0.
+func (m *machine) grow() {
+	size := len(m.ring) * 2
+	if size == 0 {
+		size = 8
+	}
+	next := make([]leg, size)
+	for i := 0; i < m.n; i++ {
+		next[i] = m.ring[(m.head+i)&(len(m.ring)-1)]
+	}
+	m.ring = next
+	m.head = 0
+}
+
+// front returns the head leg. The queue must be non-empty.
+//
+//rexlint:noalloc
+func (m *machine) front() *leg { return &m.ring[m.head] }
+
+// pop removes the head leg. The queue must be non-empty.
+//
+//rexlint:noalloc
+func (m *machine) pop() leg {
+	l := m.ring[m.head]
+	m.head = (m.head + 1) & (len(m.ring) - 1)
+	m.n--
+	return l
+}
+
+// effectiveSpeed is the service rate with migration degradation applied:
+// every copy streaming off the machine multiplies its speed by (1-drag),
+// modelling the sequential-read and network pressure of an index transfer
+// sharing the box with query serving.
+//
+//rexlint:noalloc
+func (m *machine) effectiveSpeed(drag float64) float64 {
+	s := m.speed
+	for i := 0; i < m.copies; i++ {
+		s *= 1 - drag
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package des
+
+import (
+	"fmt"
+	"strings"
+
+	"rexchange/internal/stats"
+)
+
+// PhaseStats summarizes the query latencies completed in one migration
+// phase. Latencies are simulated seconds; percentiles are exact (computed
+// from the full per-phase sample, not histogram buckets).
+type PhaseStats struct {
+	Queries int     `json:"queries"`
+	Dropped int     `json:"dropped"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P99     float64 `json:"p99"`
+	P999    float64 `json:"p999"`
+	Max     float64 `json:"max"`
+}
+
+// Report is the run's tail-latency accounting: per-phase and overall
+// query latency summaries plus migration totals.
+type Report struct {
+	Before PhaseStats `json:"before"`
+	During PhaseStats `json:"during"`
+	After  PhaseStats `json:"after"`
+	All    PhaseStats `json:"all"`
+
+	Arrivals int    `json:"arrivals"` // queries generated (completed + dropped + in flight)
+	Copies   uint64 `json:"copies"`   // migration copies started
+	Events   uint64 `json:"events"`   // simulator events processed
+}
+
+// phaseStats summarizes one latency sample.
+func phaseStats(lat []float64, dropped int) PhaseStats {
+	ps := PhaseStats{Queries: len(lat), Dropped: dropped}
+	if len(lat) == 0 {
+		return ps
+	}
+	qs := stats.Percentiles(lat, 50, 99, 99.9)
+	ps.Mean = stats.Mean(lat)
+	ps.P50, ps.P99, ps.P999 = qs[0], qs[1], qs[2]
+	ps.Max = stats.Max(lat)
+	return ps
+}
+
+// stats3 returns {p50, p99, p99.9} of xs, zeros when empty.
+func stats3(xs []float64) [3]float64 {
+	if len(xs) == 0 {
+		return [3]float64{}
+	}
+	qs := stats.Percentiles(xs, 50, 99, 99.9)
+	return [3]float64{qs[0], qs[1], qs[2]}
+}
+
+// Report builds the run's latency report from everything completed so
+// far. It may be called mid-run; the usual call is after Controller.Run
+// has drained.
+func (s *Sim) Report() Report {
+	all := make([]float64, 0, len(s.lat[PhaseBefore])+len(s.lat[PhaseDuring])+len(s.lat[PhaseAfter]))
+	drops := 0
+	for ph := PhaseBefore; ph < numPhases; ph++ {
+		all = append(all, s.lat[ph]...)
+		drops += s.drops[ph]
+	}
+	return Report{
+		Before:   phaseStats(s.lat[PhaseBefore], s.drops[PhaseBefore]),
+		During:   phaseStats(s.lat[PhaseDuring], s.drops[PhaseDuring]),
+		After:    phaseStats(s.lat[PhaseAfter], s.drops[PhaseAfter]),
+		All:      phaseStats(all, drops),
+		Arrivals: s.arrived,
+		Copies:   uint64(s.copiesStarted),
+		Events:   s.events,
+	}
+}
+
+// Render formats the report as a fixed-width table. Every float uses
+// six-decimal fixed notation, so for a fixed seed the output is
+// byte-identical across runs and GOMAXPROCS values — CI diffs it.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase      queries  dropped      mean       p50       p99      p999       max\n")
+	row := func(name string, ps PhaseStats) {
+		fmt.Fprintf(&b, "%-8s %9d %8d %9.6f %9.6f %9.6f %9.6f %9.6f\n",
+			name, ps.Queries, ps.Dropped, ps.Mean, ps.P50, ps.P99, ps.P999, ps.Max)
+	}
+	row("before", r.Before)
+	row("during", r.During)
+	row("after", r.After)
+	row("all", r.All)
+	fmt.Fprintf(&b, "arrivals %d copies %d events %d\n", r.Arrivals, r.Copies, r.Events)
+	return b.String()
+}

@@ -1,0 +1,554 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"rexchange/internal/cluster"
+	"rexchange/internal/obs"
+	"rexchange/internal/plan"
+	"rexchange/internal/rng"
+	"rexchange/internal/workload"
+)
+
+// Phase classifies a query completion relative to the run's migration
+// activity: Before (no copy had started yet), During (a copy overlapped
+// the query's lifetime), After (copies have happened, none overlapped).
+type Phase int
+
+// Migration phases.
+const (
+	PhaseBefore Phase = iota
+	PhaseDuring
+	PhaseAfter
+	numPhases
+)
+
+// String names the phase; also the metrics label value.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBefore:
+		return "before"
+	case PhaseDuring:
+		return "during"
+	case PhaseAfter:
+		return "after"
+	default:
+		return "phase(?)"
+	}
+}
+
+// Config parameterizes the discrete-event simulator.
+type Config struct {
+	// Fanout is the number of shard legs sampled per query (weighted by
+	// shard popularity, with replacement). 0 defaults to 8.
+	Fanout int `json:"fanout"`
+	// TargetUtil is the mean machine busy fraction at base trace
+	// intensity; it calibrates service times against the cluster's load
+	// scale. 0 defaults to 0.6.
+	TargetUtil float64 `json:"target_util"`
+	// Window is the arrival-generation and latency-measurement window in
+	// seconds; align it with the controller's round window. 0 defaults
+	// to 10.
+	Window float64 `json:"window"`
+	// DriftSigma is the per-window lognormal popularity walk applied to
+	// shard weights (0 freezes relative popularity).
+	DriftSigma float64 `json:"drift_sigma"`
+	// Drag is the fractional service-speed loss on a machine per
+	// migration copy streaming off it. 0 defaults to 0.3; negative
+	// disables degradation.
+	Drag float64 `json:"drag"`
+	// CostSigma is the lognormal spread of per-query cost (0 = uniform
+	// unit cost).
+	CostSigma float64 `json:"cost_sigma"`
+	// MaxQueue caps a machine's queue depth in legs; a query any of
+	// whose legs meets a full queue is dropped whole. 0 = unbounded.
+	MaxQueue int `json:"max_queue"`
+	// Seed derives the workload, drift, and chaos sub-streams. Policy
+	// and solver randomness live elsewhere, so changing them never
+	// perturbs the workload.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultConfig returns the standard simulation parameters.
+func DefaultConfig() Config {
+	return Config{Fanout: 8, TargetUtil: 0.6, Window: 10, CostSigma: 0.5, Drag: 0.3, Seed: 1}
+}
+
+// normalize fills defaults and validates.
+func (cfg *Config) normalize() error {
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 8
+	}
+	if cfg.Fanout < 0 {
+		return fmt.Errorf("des: Fanout must be positive, got %d", cfg.Fanout)
+	}
+	if cfg.TargetUtil == 0 {
+		cfg.TargetUtil = 0.6
+	}
+	if cfg.TargetUtil < 0 || cfg.TargetUtil >= 1 {
+		return fmt.Errorf("des: TargetUtil must be in (0,1), got %g", cfg.TargetUtil)
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 10
+	}
+	if cfg.Window < 0 {
+		return fmt.Errorf("des: Window must be positive, got %g", cfg.Window)
+	}
+	if cfg.Drag == 0 {
+		cfg.Drag = 0.3
+	}
+	if cfg.Drag < 0 {
+		cfg.Drag = 0
+	}
+	if cfg.Drag >= 1 {
+		return fmt.Errorf("des: Drag must be below 1, got %g", cfg.Drag)
+	}
+	if cfg.MaxQueue < 0 {
+		return fmt.Errorf("des: negative MaxQueue %d", cfg.MaxQueue)
+	}
+	return nil
+}
+
+// query is one in-flight query: its arrival time and outstanding legs.
+type query struct {
+	arrive float64
+	remain int32
+}
+
+// Sim is the discrete-event cluster simulator. It implements ctl.Clock
+// (Sleep advances the event heap to the target time), ctl.LoadSource
+// (observed loads are the work actually routed per shard since the last
+// snapshot), and ctl.MoveObserver (executor copies degrade their source
+// machine and commits reroute subsequent queries) — so the unmodified
+// controller, policy, solver, and executor run against simulated query
+// traffic.
+//
+// All methods except Now must be called from the single control-loop
+// goroutine; Now is safe for concurrent use (HTTP handlers).
+type Sim struct {
+	cfg Config
+	tr  *workload.Trace
+
+	mu  sync.Mutex
+	now float64 // guarded by: mu
+
+	// Routing and popularity state. home is the simulator's own shard →
+	// machine map: it re-routes on committed moves only, independent of
+	// the controller's planning copies.
+	home     []cluster.MachineID
+	weights  []float64
+	cum      []float64 // prefix sums over weights, rebuilt per window
+	wtotal   float64   // invariant Σweights, restored after each drift step
+	machines []machine
+
+	heap eventHeap
+	qs   []query
+	free []int32
+
+	// workload draws arrivals, costs, and shard picks; drift walks the
+	// popularity weights; the partitioned chaos stream is exported for
+	// failure injection. Because each is an isolated sub-stream, adding
+	// chaos or changing drift never perturbs workload generation.
+	streams  *rng.Partitioned
+	workload *rand.Rand
+	drift    *rand.Rand
+
+	picks []cluster.ShardID // per-arrival scratch, len = Fanout
+
+	legUnit    float64 // Load-seconds per leg per unit cost
+	serveScale float64 // service seconds per Load-second on a speed-1 idle machine
+
+	// Migration overlap accounting for phase classification.
+	copiesStarted int
+	activeCopies  int
+	lastCopyEnd   float64
+
+	// LoadSource accumulators, reset by Next.
+	srcLoad []float64
+	srcFrom float64
+
+	// Measurement-window accumulators, reset at each window boundary.
+	windowIdx    int
+	winLat       []float64
+	winArrivals  int
+	winCompleted int
+	winDropped   int
+
+	// Run-long per-phase latency records.
+	lat     [numPhases][]float64
+	drops   [numPhases]int
+	arrived int
+	events  uint64
+
+	m       *simMetrics
+	journal *obs.Journal
+}
+
+// New builds a simulator over the given placement and query trace. The
+// placement is read once (assignment, machine speeds, shard base loads)
+// and never written: the simulator keeps its own routing map and follows
+// the live placement through MoveObserver commits.
+func New(cfg Config, p *cluster.Placement, tr *workload.Trace) (*Sim, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if p == nil || tr == nil || tr.Duration <= 0 {
+		return nil, fmt.Errorf("des: placement and a trace with positive duration are required")
+	}
+	c := p.Cluster()
+	if c.NumShards() == 0 || c.NumMachines() == 0 {
+		return nil, fmt.Errorf("des: empty cluster")
+	}
+	s := &Sim{
+		cfg:      cfg,
+		tr:       tr,
+		home:     p.Assignment(),
+		weights:  make([]float64, c.NumShards()),
+		cum:      make([]float64, c.NumShards()),
+		machines: make([]machine, c.NumMachines()),
+		streams:  rng.NewPartitioned(cfg.Seed),
+		srcLoad:  make([]float64, c.NumShards()),
+	}
+	s.workload = s.streams.Stream("workload")
+	s.drift = s.streams.Stream("drift")
+	s.picks = make([]cluster.ShardID, cfg.Fanout)
+	totalSpeed := 0.0
+	for i := range s.machines {
+		s.machines[i].speed = c.Machines[i].Speed
+		totalSpeed += c.Machines[i].Speed
+	}
+	total := 0.0
+	for i := range c.Shards {
+		w := c.Shards[i].Load
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("des: shard %d has load %g", i, w)
+		}
+		s.weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("des: cluster has no load to simulate")
+	}
+	for i := range s.home {
+		if s.home[i] == cluster.Unassigned {
+			return nil, fmt.Errorf("des: shard %d is unassigned", i)
+		}
+	}
+	s.wtotal = total
+	rate := tr.Rate()
+	if rate <= 0 {
+		return nil, fmt.Errorf("des: trace has no arrivals")
+	}
+	// Calibration: with Fanout popularity-weighted picks per query, a leg
+	// carrying legUnit·cost Load-seconds makes the expected routed work
+	// rate of shard s equal its base load, so the controller observes the
+	// same load scale TraceDriftSource would feed it. serveScale then
+	// converts Load-seconds to service seconds such that a machine at the
+	// fleet-mean utilization idles (1-TargetUtil) of the time.
+	meanCost := math.Exp(cfg.CostSigma * cfg.CostSigma / 2)
+	s.legUnit = total / (rate * float64(cfg.Fanout) * meanCost)
+	meanUtil := c.TotalLoad() / totalSpeed
+	s.serveScale = cfg.TargetUtil / meanUtil
+	s.rebuildCum()
+	s.heap.Push(Event{At: 0, Kind: KindWindow})
+	return s, nil
+}
+
+// AttachObs wires a metric registry and/or JSONL journal (either may be
+// nil). Call before the first Sleep.
+func (s *Sim) AttachObs(reg *obs.Registry, j *obs.Journal) {
+	if reg != nil {
+		s.m = newSimMetrics(reg)
+	}
+	s.journal = j
+}
+
+// Chaos returns the dedicated chaos sub-stream, for wiring deterministic
+// copy-failure injection into ctl.ExecConfig.Failure without perturbing
+// workload generation.
+func (s *Sim) Chaos() *rand.Rand { return s.streams.Stream("chaos") }
+
+// Now returns the current simulated time. Safe for concurrent use.
+func (s *Sim) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// setNow publishes the clock position.
+func (s *Sim) setNow(t float64) {
+	s.mu.Lock()
+	s.now = t
+	s.mu.Unlock()
+}
+
+// Sleep advances simulated time by d seconds, running every event that
+// falls strictly before the target; events scheduled exactly at the
+// target run at the start of the next advance, so a load snapshot taken
+// at a window boundary never sees the next window's arrivals.
+func (s *Sim) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	target := s.Now() + d
+	for s.heap.Len() > 0 && s.heap.Min().At < target {
+		e := s.heap.Pop()
+		s.setNow(e.At)
+		s.events++
+		switch e.Kind {
+		case KindWindow:
+			s.windowEvent(e.At)
+		case KindArrival:
+			s.arrivalEvent(e.At)
+		case KindLegDone:
+			s.legDoneEvent(e.At, e.M)
+		}
+	}
+	s.setNow(target)
+	if s.m != nil {
+		s.m.syncLow(s)
+	}
+}
+
+// Next implements ctl.LoadSource: per-shard work routed since the last
+// snapshot, as a rate in cluster Load units. The simulator must have
+// been advanced to t1 (the controller's serviceUntil guarantees this).
+func (s *Sim) Next(t0, t1 float64) ([]float64, error) {
+	if t1 <= t0 {
+		return nil, fmt.Errorf("des: load window [%g,%g) is inverted", t0, t1)
+	}
+	span := t1 - s.srcFrom
+	if span <= 0 {
+		span = t1 - t0
+	}
+	out := make([]float64, len(s.srcLoad))
+	for i, w := range s.srcLoad {
+		out[i] = w / span
+		s.srcLoad[i] = 0
+	}
+	s.srcFrom = t1
+	return out, nil
+}
+
+// MoveStarted implements ctl.MoveObserver: an outbound copy starts
+// degrading its source machine.
+func (s *Sim) MoveStarted(mv plan.Move, at, eta float64) {
+	s.machines[mv.From].copies++
+	s.copiesStarted++
+	s.activeCopies++
+	if s.m != nil {
+		s.m.copiesActive.Set(float64(s.activeCopies))
+	}
+}
+
+// MoveFinished implements ctl.MoveObserver: the copy's degradation ends,
+// and a committed move re-routes the shard's future queries.
+func (s *Sim) MoveFinished(mv plan.Move, at float64, committed bool) {
+	s.machines[mv.From].copies--
+	s.activeCopies--
+	if at > s.lastCopyEnd {
+		s.lastCopyEnd = at
+	}
+	if committed {
+		s.home[mv.S] = mv.To
+	}
+	if s.m != nil {
+		s.m.copiesActive.Set(float64(s.activeCopies))
+	}
+}
+
+// windowEvent closes the measurement window ending at t, applies one
+// popularity-drift step, and generates the next window's arrivals.
+func (s *Sim) windowEvent(t float64) {
+	if s.windowIdx > 0 {
+		s.closeWindow(t)
+	}
+	if s.cfg.DriftSigma > 0 && s.windowIdx > 0 {
+		s.driftStep()
+	}
+	for _, at := range s.tr.Arrivals(t, t+s.cfg.Window, s.workload) {
+		s.heap.Push(Event{At: at, Kind: KindArrival})
+	}
+	s.windowIdx++
+	s.heap.Push(Event{At: t + s.cfg.Window, Kind: KindWindow})
+}
+
+// closeWindow publishes the window's latency summary to the journal.
+func (s *Sim) closeWindow(t float64) {
+	if s.journal != nil {
+		q := stats3(s.winLat)
+		s.journal.Emit(obs.Event{
+			T: t, Span: obs.SpanSim, Phase: obs.PhaseEnd, Round: s.windowIdx - 1,
+			Sim: &obs.SimEvent{
+				Window: s.windowIdx - 1, Arrivals: s.winArrivals,
+				Completed: s.winCompleted, Dropped: s.winDropped,
+				P50: q[0], P99: q[1], P999: q[2], Copies: s.activeCopies,
+			},
+		})
+	}
+	s.winLat = s.winLat[:0]
+	s.winArrivals, s.winCompleted, s.winDropped = 0, 0, 0
+}
+
+// driftStep walks every shard weight by a lognormal factor and
+// renormalizes so total popularity stays put while shares shift — the
+// same drift model ctl.TraceDriftSource applies to load snapshots.
+func (s *Sim) driftStep() {
+	r := s.drift
+	total := 0.0
+	for i := range s.weights {
+		s.weights[i] *= math.Exp(s.cfg.DriftSigma * r.NormFloat64())
+		total += s.weights[i]
+	}
+	if total > 0 {
+		scale := s.wtotal / total
+		for i := range s.weights {
+			s.weights[i] *= scale
+		}
+	}
+	s.rebuildCum()
+}
+
+// rebuildCum refreshes the prefix sums used for weighted shard sampling.
+func (s *Sim) rebuildCum() {
+	acc := 0.0
+	for i, w := range s.weights {
+		acc += w
+		s.cum[i] = acc
+	}
+}
+
+// pickShard samples one shard proportional to current popularity.
+func (s *Sim) pickShard() cluster.ShardID {
+	total := s.cum[len(s.cum)-1]
+	r := s.workload.Float64() * total
+	return cluster.ShardID(sort.SearchFloat64s(s.cum, r))
+}
+
+// arrivalEvent fans one query out to Fanout sampled shard legs. The cost
+// and shard picks come from the workload stream in arrival order, so the
+// draw sequence is independent of queueing and policy dynamics.
+func (s *Sim) arrivalEvent(t float64) {
+	cost := 1.0
+	if s.cfg.CostSigma > 0 {
+		cost = workload.LogNormal(s.workload, 0, s.cfg.CostSigma)
+	}
+	picks := s.picks
+	for i := range picks {
+		picks[i] = s.pickShard()
+	}
+	work := s.legUnit * cost
+	s.arrived++
+	s.winArrivals++
+
+	// Offered load is observed whether or not the query admits — the
+	// controller must see the hot shard even while its machine sheds.
+	for _, sh := range picks {
+		s.srcLoad[sh] += work
+	}
+
+	if s.cfg.MaxQueue > 0 {
+		for _, sh := range picks {
+			if s.machines[s.home[sh]].depth() >= s.cfg.MaxQueue {
+				s.drop(t)
+				return
+			}
+		}
+	}
+	qi := s.allocQuery(t, int32(len(picks)))
+	for _, sh := range picks {
+		mi := s.home[sh]
+		m := &s.machines[mi]
+		m.push(leg{q: qi, work: work})
+		if m.depth() == 1 {
+			s.startService(t, int32(mi))
+		}
+	}
+}
+
+// drop records a whole-query drop in the phase it would have completed.
+func (s *Sim) drop(t float64) {
+	ph := s.classify(t)
+	s.drops[ph]++
+	s.winDropped++
+	if s.m != nil {
+		s.m.dropped.Inc()
+	}
+}
+
+// allocQuery takes a query slot from the free list or grows the table.
+func (s *Sim) allocQuery(t float64, legs int32) int32 {
+	if n := len(s.free); n > 0 {
+		qi := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.qs[qi] = query{arrive: t, remain: legs}
+		return qi
+	}
+	s.qs = append(s.qs, query{arrive: t, remain: legs})
+	return int32(len(s.qs) - 1)
+}
+
+// startService begins serving the head leg of machine mi and schedules
+// its completion at the current effective speed. Degradation applies at
+// leg start: a copy that begins mid-service does not preempt.
+func (s *Sim) startService(t float64, mi int32) {
+	m := &s.machines[mi]
+	l := m.front()
+	l.state = LegRunning
+	service := l.work * s.serveScale / m.effectiveSpeed(s.cfg.Drag)
+	s.heap.Push(Event{At: t + service, Kind: KindLegDone, Q: l.q, M: mi})
+}
+
+// legDoneEvent completes the head leg of machine m, merges it into its
+// query, and starts the next queued leg.
+func (s *Sim) legDoneEvent(t float64, mi int32) {
+	m := &s.machines[mi]
+	l := m.pop()
+	l.state = LegDone
+	q := &s.qs[l.q]
+	q.remain--
+	if q.remain == 0 {
+		s.complete(t, l.q)
+	}
+	if m.depth() > 0 {
+		s.startService(t, mi)
+	}
+}
+
+// complete records the query's end-to-end latency (merge at the slowest
+// leg) under its migration phase and frees the slot.
+func (s *Sim) complete(t float64, qi int32) {
+	q := &s.qs[qi]
+	latency := t - q.arrive
+	ph := s.classify(q.arrive)
+	s.lat[ph] = append(s.lat[ph], latency)
+	s.winLat = append(s.winLat, latency)
+	s.winCompleted++
+	s.free = append(s.free, qi)
+	if s.m != nil {
+		s.m.observe(ph, latency)
+	}
+}
+
+// classify assigns a migration phase to a query that arrived at `arrive`
+// and is ending now: During when any copy overlapped its lifetime.
+func (s *Sim) classify(arrive float64) Phase {
+	switch {
+	case s.copiesStarted == 0:
+		return PhaseBefore
+	case s.activeCopies > 0 || s.lastCopyEnd >= arrive:
+		return PhaseDuring
+	default:
+		return PhaseAfter
+	}
+}
+
+// Events returns the number of simulator events processed so far.
+func (s *Sim) Events() uint64 { return s.events }
+
+// InFlight returns the number of queries currently outstanding.
+func (s *Sim) InFlight() int { return len(s.qs) - len(s.free) }

@@ -18,8 +18,8 @@ import "strings"
 //     per field, so un-annotated packages cost nothing.
 //   - statecheck guards the whole module: it activates only in packages
 //     that declare transition/resource directives.
-//   - clockpurity guards the deterministic packages (core, sim, ctl, obs):
-//     wall time must enter through the ctl.Clock seam only.
+//   - clockpurity guards the deterministic packages (core, sim, ctl, obs,
+//     des): wall time must enter through the ctl.Clock seam only.
 //   - leakcheck guards the long-running control plane (ctl and the
 //     commands), where an unstoppable goroutine defeats shutdown.
 //   - sharecheck guards the packages that handle cluster.Placement and the
@@ -52,12 +52,13 @@ func Analyzers(modPath string) []*Analyzer {
 	mapOrder := *MapOrder
 	mapOrder.AppliesTo = inModule(
 		"/internal/core", "/internal/plan", "/internal/cluster", "/internal/sim",
+		"/internal/des",
 	)
 
 	floatEq := *FloatEq
 	floatEq.AppliesTo = inModule(
 		"/internal/core", "/internal/plan", "/internal/cluster", "/internal/sim",
-		"/internal/metrics", "/internal/stats", "/internal/vec",
+		"/internal/metrics", "/internal/stats", "/internal/vec", "/internal/des",
 	)
 
 	errIgnore := *ErrIgnore
@@ -81,6 +82,7 @@ func Analyzers(modPath string) []*Analyzer {
 	clockPurity := *ClockPurity
 	clockPurity.AppliesTo = inModule(
 		"/internal/core", "/internal/sim", "/internal/ctl", "/internal/obs",
+		"/internal/des",
 	)
 
 	leakCheck := *LeakCheck

@@ -52,8 +52,10 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"noglobalrand", "rexchange/cmd/rexbench", true},
 		{"maporder", "rexchange/internal/core", true},
 		{"maporder", "rexchange/internal/sim", true},
+		{"maporder", "rexchange/internal/des", true},
 		{"maporder", "rexchange/internal/invindex", false},
 		{"floateq", "rexchange/internal/metrics", true},
+		{"floateq", "rexchange/internal/des", true},
 		{"floateq", "rexchange/internal/lint", false},
 		{"errignore", "rexchange/internal/plan", true},
 		{"errignore", "rexchange/cmd/rexbench", false},
@@ -64,6 +66,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"statecheck", "rexchange/internal/ctl", true},
 		{"clockpurity", "rexchange/internal/ctl", true},
 		{"clockpurity", "rexchange/internal/sim", true},
+		{"clockpurity", "rexchange/internal/des", true},
 		{"clockpurity", "rexchange/internal/lint", false},
 		{"leakcheck", "rexchange/internal/ctl", true},
 		{"leakcheck", "rexchange/cmd/rexd", true},

@@ -13,6 +13,7 @@ const (
 	SpanRound = "round" // one control round (snapshot → decision)
 	SpanSolve = "solve" // one budgeted SRA solve
 	SpanMove  = "move"  // one shard copy, dispatch → land
+	SpanSim   = "sim"   // one discrete-event simulator measurement window
 )
 
 // Span phases.
@@ -40,6 +41,23 @@ type MoveEvent struct {
 	Attempt int `json:"attempt,omitempty"`
 }
 
+// SimEvent is the payload of a SpanSim record: one discrete-event
+// simulator measurement window's query-latency summary, emitted at the
+// window's closing timestamp. Percentiles are exact (computed from the
+// window's completed-query latencies, not from histogram buckets) and in
+// simulated seconds; Copies is the number of migration copies in flight
+// when the window closed.
+type SimEvent struct {
+	Window    int     `json:"window"`
+	Arrivals  int     `json:"arrivals"`
+	Completed int     `json:"completed"`
+	Dropped   int     `json:"dropped,omitempty"`
+	P50       float64 `json:"p50"`
+	P99       float64 `json:"p99"`
+	P999      float64 `json:"p999"`
+	Copies    int     `json:"copies,omitempty"`
+}
+
 // Event is one JSONL journal record. Timestamps come from the control
 // plane's Clock, so a virtual-clock run journals in simulated seconds and
 // is bit-reproducible: for a fixed configuration the byte stream is
@@ -61,6 +79,9 @@ type Event struct {
 
 	// Move payload.
 	Move *MoveEvent `json:"move,omitempty"`
+
+	// Sim payload (SpanSim records).
+	Sim *SimEvent `json:"sim,omitempty"`
 }
 
 // Journal writes events as JSON Lines. Emit is safe for concurrent use;

@@ -18,6 +18,8 @@ func TestJournalPinnedSchema(t *testing.T) {
 		Move: &MoveEvent{Seq: 0, Shard: 3, From: 0, To: 4, Attempt: 1}})
 	j.Emit(Event{T: 12.5, Span: SpanMove, Phase: PhaseEnd, Round: 2, Outcome: OutcomeAborted,
 		Seconds: 1.5, Move: &MoveEvent{Seq: 0, Shard: 3, From: 0, To: 4, Attempt: 1}})
+	j.Emit(Event{T: 20, Span: SpanSim, Phase: PhaseEnd, Round: 2,
+		Sim: &SimEvent{Window: 2, Arrivals: 100, Completed: 98, Dropped: 1, P50: 0.01, P99: 0.25, P999: 0.5, Copies: 3}})
 	if err := j.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -25,12 +27,13 @@ func TestJournalPinnedSchema(t *testing.T) {
 {"t":10,"span":"solve","phase":"end","round":2,"outcome":"ok","objective":1.125,"moves":7,"seconds":0.5}
 {"t":11,"span":"move","phase":"begin","round":2,"move":{"seq":0,"shard":3,"from":0,"to":4,"attempt":1}}
 {"t":12.5,"span":"move","phase":"end","round":2,"outcome":"aborted","seconds":1.5,"move":{"seq":0,"shard":3,"from":0,"to":4,"attempt":1}}
+{"t":20,"span":"sim","phase":"end","round":2,"sim":{"window":2,"arrivals":100,"completed":98,"dropped":1,"p50":0.01,"p99":0.25,"p999":0.5,"copies":3}}
 `
 	if got := b.String(); got != want {
 		t.Fatalf("journal schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}
-	if j.Len() != 4 {
-		t.Fatalf("Len = %d, want 4", j.Len())
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", j.Len())
 	}
 }
 

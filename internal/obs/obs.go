@@ -225,6 +225,23 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 // use.
 func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.get(labelValues).g }
 
+// HistogramVec is a histogram family partitioned by a fixed label set;
+// every series shares the family's bucket bounds. The "le" label is
+// reserved for the bucket bound and rejected at registration.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: HistogramVec %s needs at least one label", name))
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, checkBuckets(name, buckets))}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use. Resolve once outside hot loops.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(labelValues).h }
+
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4), deterministically: families sorted
 // by name, series sorted by label values.

@@ -54,6 +54,41 @@ rex_test_seconds_count 3
 	}
 }
 
+// TestHistogramVecExposition pins the rendered form of a labelled
+// histogram family: per-label series each carry the full
+// _bucket/_sum/_count triple, label values sort deterministically.
+func TestHistogramVecExposition(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("rex_test_phase_seconds", "Latency by phase.", []float64{0.1, 1}, "phase")
+	hv.With("before").Observe(0.05)
+	hv.With("during").Observe(0.5)
+	hv.With("during").Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP rex_test_phase_seconds Latency by phase.
+# TYPE rex_test_phase_seconds histogram
+rex_test_phase_seconds_bucket{phase="before",le="0.1"} 1
+rex_test_phase_seconds_bucket{phase="before",le="1"} 1
+rex_test_phase_seconds_bucket{phase="before",le="+Inf"} 1
+rex_test_phase_seconds_sum{phase="before"} 0.05
+rex_test_phase_seconds_count{phase="before"} 1
+rex_test_phase_seconds_bucket{phase="during",le="0.1"} 0
+rex_test_phase_seconds_bucket{phase="during",le="1"} 1
+rex_test_phase_seconds_bucket{phase="during",le="+Inf"} 2
+rex_test_phase_seconds_sum{phase="during"} 2.5
+rex_test_phase_seconds_count{phase="during"} 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if problems := LintExposition(strings.NewReader(b.String())); len(problems) != 0 {
+		t.Fatalf("self-lint found problems: %v", problems)
+	}
+}
+
 // TestFormatFloatSpecials checks the Prometheus spellings of the special
 // float values.
 func TestFormatFloatSpecials(t *testing.T) {

@@ -1,0 +1,152 @@
+package rng
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestWorkerSeedsPairwiseDistinct pins the seed-decorrelation fix moved
+// here from internal/core. The old additive stride (Seed + i*0x9E3779B1)
+// made restart i of a run seeded S reuse the seed of restart i-1 of a run
+// seeded S+0x9E3779B1, so stride-spaced seed sweeps ran duplicate
+// searches. The splitmix64-style mix must produce pairwise-distinct worker
+// seeds across a sweep of base seeds in every pattern a harness plausibly
+// uses: consecutive, stride-spaced (the old collision), and
+// golden-ratio-spaced.
+func TestWorkerSeedsPairwiseDistinct(t *testing.T) {
+	const restarts = 64
+	bases := []int64{1, 2, 3, 42}
+	goldenGamma := int64(-7046029254386353131) // 0x9E3779B97F4A7C15 as int64
+	for _, step := range []int64{1, 0x9E3779B1, -0x9E3779B1, goldenGamma} {
+		for i := int64(1); i <= 4; i++ {
+			bases = append(bases, 7+i*step)
+		}
+	}
+	seen := make(map[int64][2]int64, len(bases)*restarts)
+	for _, base := range bases {
+		for i := 0; i < restarts; i++ {
+			s := WorkerSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("worker seed collision: (base=%d, i=%d) and (base=%d, i=%d) both map to %d",
+					base, int64(i), prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, int64(i)}
+		}
+	}
+
+	// The exact pre-fix failure shape, spelled out: restart i of seed S
+	// must not equal restart i-1 of seed S+0x9E3779B1.
+	const oldStride = 0x9E3779B1
+	for i := 1; i < restarts; i++ {
+		if WorkerSeed(100, i) == WorkerSeed(100+oldStride, i-1) {
+			t.Fatalf("stride-shifted runs still share worker seeds at i=%d", i)
+		}
+	}
+
+	// Restart 0 must keep the base seed so the portfolio contains the
+	// plain single run.
+	if WorkerSeed(1234, 0) != 1234 {
+		t.Fatalf("WorkerSeed(base, 0) = %d, want the base seed", WorkerSeed(1234, 0))
+	}
+}
+
+// TestCellSeedsPairwiseDistinct sweeps the (round, partition) grid the
+// partitioned solver uses and a third index dimension, checking that no
+// two cells of any base seed collide and that tuples of different length
+// stay distinct (the +1 offset per index).
+func TestCellSeedsPairwiseDistinct(t *testing.T) {
+	seen := make(map[int64]string)
+	record := func(s int64, key string) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cell seed collision: %s and %s both map to %d", key, prev, s)
+		}
+		seen[s] = key
+	}
+	for _, base := range []int64{1, 7, 42, 1 + 0x9E3779B1} {
+		for round := 0; round < 8; round++ {
+			for part := 0; part < 16; part++ {
+				record(CellSeed(base, round, part), fmt.Sprintf("(%d,%d,%d)", base, round, part))
+			}
+		}
+		record(CellSeed(base, 0, 0, 0), fmt.Sprintf("(%d,0,0,0)", base))
+	}
+}
+
+// TestCellSeedMatchesLegacyPartitionSeed pins the exact construction the
+// partitioned solver shipped with (chained mix with +1-offset golden
+// steps), so moving the helper into this package cannot silently change
+// any solver trajectory.
+func TestCellSeedMatchesLegacyPartitionSeed(t *testing.T) {
+	legacy := func(base int64, round, part int) int64 {
+		z := Mix64(uint64(base))
+		z = Mix64(z + uint64(round+1)*0x9E3779B97F4A7C15)
+		z = Mix64(z + uint64(part+1)*0x9E3779B97F4A7C15)
+		return int64(z)
+	}
+	for _, base := range []int64{1, 99, -5} {
+		for round := 0; round < 4; round++ {
+			for part := 0; part < 4; part++ {
+				if got, want := CellSeed(base, round, part), legacy(base, round, part); got != want {
+					t.Fatalf("CellSeed(%d,%d,%d) = %d, legacy partitionSeed = %d", base, round, part, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedStreamIsolation is the PartitionedRNG contract: a
+// stream's sequence depends only on (base seed, name) — never on which
+// other streams exist or how much they have drawn.
+func TestPartitionedStreamIsolation(t *testing.T) {
+	draw := func(p *Partitioned, name string, n int) []float64 {
+		out := make([]float64, n)
+		r := p.Stream(name)
+		for i := range out {
+			out[i] = r.Float64()
+		}
+		return out
+	}
+
+	// Reference: workload stream alone.
+	ref := draw(NewPartitioned(7), "workload", 32)
+
+	// Same base, but a chatty sibling subsystem drains its own stream
+	// first and in between: workload must be unaffected.
+	p := NewPartitioned(7)
+	draw(p, "service", 1000)
+	got := draw(p, "workload", 16)
+	draw(p, "chaos", 17)
+	got = append(got, draw(p, "workload", 16)...)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("workload stream perturbed by sibling draws at %d: %g vs %g", i, ref[i], got[i])
+		}
+	}
+
+	// Distinct names must get distinct streams.
+	q := NewPartitioned(7)
+	a, b := draw(q, "workload", 8), draw(q, "service", 8)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("streams \"workload\" and \"service\" produced identical sequences")
+	}
+
+	// Distinct base seeds must decorrelate the same name.
+	c := draw(NewPartitioned(8), "workload", 8)
+	same = true
+	for i := range c {
+		if ref[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("base seeds 7 and 8 produced identical \"workload\" streams")
+	}
+}
