@@ -66,6 +66,9 @@ func run() error {
 		partitions = flag.Int("partitions", 4, "partition count for the partitioned variant")
 		exRounds   = flag.Int("exchange-rounds", 2, "cross-partition exchange rounds for the partitioned variant")
 
+		traceSample = flag.Float64("trace-sample", 0, "fraction of queries traced end-to-end into the journal [0,1]")
+		exemplars   = flag.Bool("metrics-exemplars", false, "append histogram trace exemplars to the metrics exposition")
+
 		variants   = flag.String("variants", "solve", "comma-separated campaigns: baseline, solve, kexchange, partitioned")
 		reportOut  = flag.String("report-out", "", "write the rendered latency reports to this file")
 		benchOut   = flag.String("bench-out", "", "write campaign results as JSON to this file")
@@ -80,7 +83,7 @@ func run() error {
 		Sim: des.Config{
 			Fanout: *fanout, TargetUtil: *util, Window: *window,
 			DriftSigma: *drift, Drag: *drag, CostSigma: *costSigma,
-			MaxQueue: *maxQueue, Seed: *seed,
+			MaxQueue: *maxQueue, Seed: *seed, TraceSample: *traceSample,
 		},
 		Rate: *rate, Diurnal: *diurnal,
 		HighWater: *high, LowWater: *low,
@@ -124,7 +127,7 @@ func run() error {
 			return err
 		}
 		if *metricsOut != "" {
-			if err := writeExposition(vcfg.Registry, variantPath(*metricsOut, variant)); err != nil {
+			if err := writeExposition(vcfg.Registry, variantPath(*metricsOut, variant), *exemplars); err != nil {
 				return err
 			}
 		}
@@ -183,13 +186,18 @@ func openJournal(path string) (*obs.Journal, func() error, error) {
 	return obs.NewJournal(bw), closer, nil
 }
 
-// writeExposition renders the registry to path.
-func writeExposition(reg *obs.Registry, path string) error {
+// writeExposition renders the registry to path, with histogram trace
+// exemplars when requested.
+func writeExposition(reg *obs.Registry, path string, exemplars bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := reg.WritePrometheus(f); err != nil {
+	write := reg.WritePrometheus
+	if exemplars {
+		write = reg.WritePrometheusExemplars
+	}
+	if err := write(f); err != nil {
 		f.Close() //rexlint:ignore errignore render failure wins; close is best-effort
 		return err
 	}

@@ -1,0 +1,88 @@
+// Command rextrace reconstructs causal traces from a JSONL event journal
+// and analyzes them: per-phase critical paths, migration blame, and the
+// slowest sampled queries.
+//
+// Usage:
+//
+//	rexsim -trace-sample 0.1 -events ev.jsonl ...    # produce a journal
+//	rextrace -critical-path ev.jsonl.solve           # slowest chain per phase
+//	rextrace -blame ev.jsonl.solve                   # delay per move / machine
+//	rextrace -top 10 ev.jsonl.solve                  # worst sampled queries
+//	rextrace ev.jsonl.solve                          # summary counts
+//
+// With no file argument the journal is read from stdin. All reports use
+// fixed-format rendering and sorted iteration only, so for a
+// deterministic journal the output is byte-identical across runs and
+// GOMAXPROCS values — CI exploits this by diffing double runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rexchange/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rextrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		critical = flag.Bool("critical-path", false, "print the slowest sampled query's critical chain per migration phase")
+		blame    = flag.Bool("blame", false, "aggregate query delay attributed to migration moves and machines")
+		top      = flag.Int("top", 0, "print the N slowest sampled query traces")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close() //rexlint:ignore errignore read-only file; parse errors already surfaced
+		in = f
+	default:
+		return fmt.Errorf("expected at most one journal path, got %d", flag.NArg())
+	}
+
+	events, err := obs.ReadJournal(in)
+	if err != nil {
+		return err
+	}
+	traces := obs.BuildTraces(events)
+
+	ran := false
+	if *critical {
+		fmt.Print(obs.CriticalPath(traces))
+		ran = true
+	}
+	if *blame {
+		fmt.Print(obs.Blame(traces))
+		ran = true
+	}
+	if *top > 0 {
+		fmt.Print(obs.Top(traces, *top))
+		ran = true
+	}
+	if !ran {
+		spans, queries := 0, 0
+		for _, tr := range traces {
+			spans += len(tr.Spans)
+			if tr.Root != nil && tr.Root.Op == obs.OpQuery {
+				queries++
+			}
+		}
+		fmt.Printf("%d events, %d traces (%d queries), %d spans\n",
+			len(events), len(traces), queries, spans)
+	}
+	return nil
+}

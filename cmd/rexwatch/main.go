@@ -2,16 +2,21 @@
 // per-round table, and doubles as a metrics-exposition validator for CI:
 //
 //	rexwatch run.jsonl
+//	rexwatch -round 3 run.jsonl                  # one round only
+//	rexwatch -span move run.jsonl                # one span kind only
 //	rexwatch -lint-metrics metrics.prom -require rex_ctl_rounds_total,rex_exec_in_flight
 //
-// The table mode aggregates round, solve and move spans by round; the
-// lint mode runs the promlint-style checks from internal/obs over a full
-// text exposition and exits 1 on any problem or missing required family.
+// The table mode aggregates round, solve, move, and trace spans by round;
+// -round and -span narrow the table to one control round or one span kind
+// before aggregation. The lint mode runs the promlint-style checks from
+// internal/obs over a full text exposition and exits 1 on any problem or
+// missing required family.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,6 +29,8 @@ func main() {
 	var (
 		lintMetrics = flag.String("lint-metrics", "", "validate this Prometheus exposition file instead of reading a journal")
 		require     = flag.String("require", "", "comma-separated metric families that must be present (with -lint-metrics)")
+		round       = flag.Int("round", -1, "show only this control round (-1 = all)")
+		span        = flag.String("span", "", "show only this span kind (round, solve, move, sim, trace)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rexwatch [flags] journal.jsonl\n")
@@ -42,7 +49,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := watch(flag.Arg(0)); err != nil {
+	if err := watch(os.Stdout, flag.Arg(0), *round, *span); err != nil {
 		fmt.Fprintln(os.Stderr, "rexwatch:", err)
 		os.Exit(1)
 	}
@@ -83,11 +90,21 @@ type roundAgg struct {
 	moveOK    int
 	moveFail  int
 	moveAbort int
+	traces    int
 	errs      int
 }
 
-// watch aggregates a journal into a per-round table with a totals footer.
-func watch(path string) error {
+// watch aggregates a journal into a per-round table with a totals footer,
+// written to w. round >= 0 keeps only that control round; a non-empty
+// span keeps only that span kind.
+func watch(w io.Writer, path string, round int, span string) error {
+	if span != "" {
+		switch span {
+		case obs.SpanRound, obs.SpanSolve, obs.SpanMove, obs.SpanSim, obs.SpanTrace:
+		default:
+			return fmt.Errorf("unknown span kind %q", span)
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -96,6 +113,19 @@ func watch(path string) error {
 	events, err := obs.ReadJournal(f)
 	if err != nil {
 		return err
+	}
+	if round >= 0 || span != "" {
+		kept := events[:0]
+		for _, ev := range events {
+			if round >= 0 && ev.Round != round {
+				continue
+			}
+			if span != "" && ev.Span != span {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		events = kept
 	}
 
 	rounds := map[int]*roundAgg{}
@@ -135,6 +165,8 @@ func watch(path string) error {
 			case obs.OutcomeAborted:
 				a.moveAbort++
 			}
+		case ev.Span == obs.SpanTrace:
+			a.traces++
 		}
 	}
 
@@ -144,8 +176,8 @@ func watch(path string) error {
 	}
 	sort.Ints(ids)
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "round\tt\timbalance\tsolve\tplan\tok\tfail\tabort\terrs")
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tt\timbalance\tsolve\tplan\tok\tfail\tabort\ttraces\terrs")
 	var tot roundAgg
 	for _, r := range ids {
 		a := rounds[r]
@@ -153,19 +185,20 @@ func watch(path string) error {
 		if a.solved {
 			solve = fmt.Sprintf("obj=%.4f", a.objective)
 		}
-		fmt.Fprintf(tw, "%d\t%.0f\t%.4f\t%s\t%d\t%d\t%d\t%d\t%d\n",
-			r, a.t, a.imbalance, solve, a.planMoves, a.moveOK, a.moveFail, a.moveAbort, a.errs)
+		fmt.Fprintf(tw, "%d\t%.0f\t%.4f\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			r, a.t, a.imbalance, solve, a.planMoves, a.moveOK, a.moveFail, a.moveAbort, a.traces, a.errs)
 		tot.planMoves += a.planMoves
 		tot.moveOK += a.moveOK
 		tot.moveFail += a.moveFail
 		tot.moveAbort += a.moveAbort
+		tot.traces += a.traces
 		tot.errs += a.errs
 	}
-	fmt.Fprintf(tw, "total\t\t\t\t%d\t%d\t%d\t%d\t%d\n",
-		tot.planMoves, tot.moveOK, tot.moveFail, tot.moveAbort, tot.errs)
+	fmt.Fprintf(tw, "total\t\t\t\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		tot.planMoves, tot.moveOK, tot.moveFail, tot.moveAbort, tot.traces, tot.errs)
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("%d events, %d rounds\n", len(events), len(ids))
+	fmt.Fprintf(w, "%d events, %d rounds\n", len(events), len(ids))
 	return nil
 }

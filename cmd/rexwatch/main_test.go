@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rexchange/internal/obs"
+)
+
+// writeTestJournal emits a two-round journal with solve, move, and trace
+// spans and returns its path.
+func writeTestJournal(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := obs.NewJournal(f)
+	j.Emit(obs.Event{T: 0, Span: obs.SpanRound, Phase: obs.PhaseBegin, Round: 0, Imbalance: 1.4})
+	j.Emit(obs.Event{T: 1, Span: obs.SpanSolve, Phase: obs.PhaseEnd, Round: 0, Outcome: obs.OutcomeOK, Objective: 1.1, Moves: 2})
+	j.Emit(obs.Event{T: 3, Span: obs.SpanMove, Phase: obs.PhaseEnd, Round: 0, Outcome: obs.OutcomeOK,
+		Move: &obs.MoveEvent{Seq: 0, Shard: 5, From: 1, To: 2}})
+	j.Emit(obs.Event{T: 4, Span: obs.SpanMove, Phase: obs.PhaseEnd, Round: 0, Outcome: obs.OutcomeAborted,
+		Move: &obs.MoveEvent{Seq: 1, Shard: 6, From: 0, To: 2}})
+	j.Emit(obs.Event{T: 5, Span: obs.SpanTrace, Phase: obs.PhaseEnd, Round: 0,
+		Trace: &obs.TraceEvent{ID: "1", Span: "2", Op: obs.OpQuery, Start: 4.5, Machine: -1, Shard: -1, Seq: -1}})
+	j.Emit(obs.Event{T: 5, Span: obs.SpanRound, Phase: obs.PhaseEnd, Round: 0, Outcome: obs.OutcomeOK, Imbalance: 1.1})
+	j.Emit(obs.Event{T: 10, Span: obs.SpanRound, Phase: obs.PhaseBegin, Round: 1, Imbalance: 1.05})
+	j.Emit(obs.Event{T: 11, Span: obs.SpanTrace, Phase: obs.PhaseEnd, Round: 1,
+		Trace: &obs.TraceEvent{ID: "3", Span: "4", Op: obs.OpQuery, Start: 10.5, Machine: -1, Shard: -1, Seq: -1}})
+	j.Emit(obs.Event{T: 15, Span: obs.SpanRound, Phase: obs.PhaseEnd, Round: 1, Outcome: obs.OutcomeOK, Imbalance: 1.05})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWatchTable(t *testing.T) {
+	path := writeTestJournal(t)
+	var buf bytes.Buffer
+	if err := watch(&buf, path, -1, ""); err != nil {
+		t.Fatal(err)
+	}
+	want := "round  t   imbalance  solve       plan  ok  fail  abort  traces  errs\n" +
+		"0      0   1.1000     obj=1.1000  2     1   0     1      1       0\n" +
+		"1      10  1.0500     -           0     0   0     0      1       0\n" +
+		"total                             2     1   0     1      2       0\n" +
+		"9 events, 2 rounds\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("table:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWatchRoundFilter(t *testing.T) {
+	path := writeTestJournal(t)
+	var buf bytes.Buffer
+	if err := watch(&buf, path, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "obj=1.1000") {
+		t.Fatalf("-round 1 table still shows round 0's solve:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "3 events, 1 rounds\n") {
+		t.Fatalf("-round 1 footer wrong:\n%s", out)
+	}
+}
+
+func TestWatchSpanFilter(t *testing.T) {
+	path := writeTestJournal(t)
+	var buf bytes.Buffer
+	if err := watch(&buf, path, -1, obs.SpanTrace); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "obj=") || !strings.HasSuffix(out, "2 events, 2 rounds\n") {
+		t.Fatalf("-span trace table wrong:\n%s", out)
+	}
+	if err := watch(&bytes.Buffer{}, path, -1, "bogus"); err == nil {
+		t.Fatal("unknown span kind accepted")
+	}
+}

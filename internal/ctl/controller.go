@@ -71,6 +71,12 @@ type Config struct {
 	// timestamps, so a virtual-clock run journals bit-reproducibly
 	// (byte-identical across runs and GOMAXPROCS).
 	Journal *obs.Journal
+	// Tracer, when non-nil, adds round → solve → move trace spans to the
+	// journal (obs.SpanTrace records). Span identity is a pure function
+	// of (round, move seq) — see obs.RoundTraceID — so these spans join
+	// causally with the query traces a simulator emits, without the two
+	// layers sharing any runtime state.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns a continuous-operation configuration: 10-second
@@ -127,6 +133,7 @@ type Controller struct {
 	m         *ctlMetrics
 	collector *metrics.Collector
 	journal   *obs.Journal
+	tracer    *obs.Tracer
 	recorder  core.Recorder
 
 	stopped atomic.Bool
@@ -159,6 +166,7 @@ func New(cfg Config, clock Clock, p *cluster.Placement, src LoadSource) (*Contro
 		live:       p,
 		exec:       ex,
 		journal:    cfg.Journal,
+		tracer:     cfg.Tracer,
 		lastReport: metrics.Compute(p),
 	}
 	if cfg.Registry != nil {
@@ -167,7 +175,7 @@ func New(cfg Config, clock Clock, p *cluster.Placement, src LoadSource) (*Contro
 		c.collector.Set(c.lastReport)
 		c.recorder = obs.NewSolverRecorder(cfg.Registry)
 	}
-	ex.m, ex.journal = c.m, c.journal
+	ex.m, ex.journal, ex.tracer = c.m, c.journal, c.tracer
 	return c, nil
 }
 
@@ -334,9 +342,18 @@ func (c *Controller) snapshotAndDecide(t0, t1 float64) error {
 	if stat.Err != "" {
 		outcome = obs.OutcomeErr
 	}
-	c.emit(obs.Event{T: c.clock.Now(), Span: obs.SpanRound, Phase: obs.PhaseEnd,
+	endNow := c.clock.Now()
+	c.emit(obs.Event{T: endNow, Span: obs.SpanRound, Phase: obs.PhaseEnd,
 		Round: stat.Round, Outcome: outcome, Err: stat.Err,
 		Imbalance: rep.Imbalance, Moves: stat.PlanMoves})
+	if c.tracer != nil {
+		c.tracer.Emit(endNow, stat.Round, obs.TraceEvent{
+			ID:    obs.RoundTraceID(stat.Round).String(),
+			Span:  obs.RoundSpanID(stat.Round).String(),
+			Op:    obs.OpRound,
+			Start: now, Machine: -1, Shard: -1, Seq: -1,
+		})
+	}
 
 	if c.cfg.OnRound != nil {
 		c.cfg.OnRound(stat)
@@ -393,8 +410,21 @@ func (c *Controller) solveRound(stat *RoundStat) {
 	planning := c.live.Clone()
 	c.mu.Unlock()
 
-	c.emit(obs.Event{T: c.clock.Now(), Span: obs.SpanSolve, Phase: obs.PhaseBegin,
+	solveStart := c.clock.Now()
+	c.emit(obs.Event{T: solveStart, Span: obs.SpanSolve, Phase: obs.PhaseBegin,
 		Round: stat.Round, Imbalance: stat.Imbalance})
+	emitSolveTrace := func(end float64) {
+		if c.tracer == nil {
+			return
+		}
+		c.tracer.Emit(end, stat.Round, obs.TraceEvent{
+			ID:     obs.RoundTraceID(stat.Round).String(),
+			Span:   obs.SolveSpanID(stat.Round).String(),
+			Parent: obs.RoundSpanID(stat.Round).String(),
+			Op:     obs.OpSolve,
+			Start:  solveStart, Machine: -1, Shard: -1, Seq: -1,
+		})
+	}
 
 	scfg := c.cfg.Solver
 	scfg.Iterations = c.cfg.Budget.Iterations
@@ -441,6 +471,7 @@ func (c *Controller) solveRound(stat *RoundStat) {
 		c.emit(obs.Event{T: now, Span: obs.SpanSolve, Phase: obs.PhaseEnd,
 			Round: stat.Round, Outcome: obs.OutcomeErr, Err: stat.Err,
 			Seconds: c.cfg.Budget.SolveSeconds})
+		emitSolveTrace(now)
 		return
 	}
 	stat.PlanMoves = res.Plan.NumMoves()
@@ -453,6 +484,7 @@ func (c *Controller) solveRound(stat *RoundStat) {
 		Round: stat.Round, Outcome: obs.OutcomeOK,
 		Objective: res.Objective, Moves: res.Plan.NumMoves(),
 		Seconds: c.cfg.Budget.SolveSeconds})
+	emitSolveTrace(now)
 	c.exec.SetPlan(res.Plan)
 	if res.Plan.NumMoves() == 0 {
 		c.setState(StateIdle)

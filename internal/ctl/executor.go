@@ -66,26 +66,37 @@ func (s MoveStatus) String() string {
 // returning true fails that attempt. A nil FailureFunc never fails.
 type FailureFunc func(mv plan.Move, attempt int) bool
 
+// MoveRef names one scheduled move globally: the control round whose
+// solve installed the plan, and the move's sequence number within that
+// plan. It is the causal join key of the tracing layer — a query leg's
+// blocked_by link and the move's own trace span both carry it, and
+// obs.MoveSpanID is a pure function of it.
+type MoveRef struct {
+	Round int `json:"round"`
+	Seq   int `json:"seq"`
+}
+
 // MoveObserver receives copy lifecycle callbacks from the executor. The
 // discrete-event simulator uses it to degrade the source machine's
-// effective service capacity while a copy is streaming off it and to
-// reroute queries once the move commits; chaos tooling can use it to
+// effective service capacity while a copy is streaming off it, to
+// reroute queries once the move commits, and to attribute per-query
+// delay to the identified move (ref); chaos tooling can use it to
 // correlate failures with in-flight work.
 //
 // Callbacks fire synchronously on the executor's Tick path (the single
 // control-loop goroutine), in deterministic order, with Clock timestamps.
 // Implementations must not call back into the executor or controller.
-// Every MoveStarted is paired with exactly one MoveFinished: committed is
-// true when the copy landed and the shard now lives on mv.To, false when
-// the attempt failed (a retry may follow as a fresh MoveStarted) or the
-// copy was aborted by plan supersession.
+// Every MoveStarted is paired with exactly one MoveFinished carrying the
+// same ref: committed is true when the copy landed and the shard now
+// lives on mv.To, false when the attempt failed (a retry may follow as a
+// fresh MoveStarted) or the copy was aborted by plan supersession.
 type MoveObserver interface {
 	// MoveStarted reports a copy dispatch at time at, expected to finish
 	// at eta (absolute Clock seconds).
-	MoveStarted(mv plan.Move, at, eta float64)
+	MoveStarted(mv plan.Move, ref MoveRef, at, eta float64)
 	// MoveFinished reports the end of the in-flight copy started by the
 	// matching MoveStarted.
-	MoveFinished(mv plan.Move, at float64, committed bool)
+	MoveFinished(mv plan.Move, ref MoveRef, at float64, committed bool)
 }
 
 // ExecConfig parameterizes the asynchronous migration executor.
@@ -196,14 +207,19 @@ type Executor struct {
 	pending  int // moves not yet terminal
 	counters ExecCounters
 
-	// Telemetry, attached by the controller (both may be nil). round tags
-	// journal events with the control round that installed the plan;
-	// lastNow is the clock value of the most recent Tick, used to
-	// timestamp aborts (SetPlan carries no clock).
-	m       *ctlMetrics
-	journal *obs.Journal
-	round   int
-	lastNow float64
+	// Telemetry, attached by the controller (all may be nil). round tags
+	// journal events with the current control round; planRound is the
+	// round whose solve installed the running plan (they differ during a
+	// supersession abort, where round is already the superseding round)
+	// and keys the MoveRefs and trace span IDs of its moves; lastNow is
+	// the clock value of the most recent Tick, used to timestamp aborts
+	// (SetPlan carries no clock).
+	m         *ctlMetrics
+	journal   *obs.Journal
+	tracer    *obs.Tracer
+	round     int
+	planRound int
+	lastNow   float64
 }
 
 // AttachObs attaches a metric registry and/or event journal to a
@@ -215,6 +231,30 @@ func (e *Executor) AttachObs(reg *obs.Registry, j *obs.Journal) {
 		e.m = newCtlMetrics(reg)
 	}
 	e.journal = j
+}
+
+// AttachTracer wires a tracer into a standalone executor; every copy then
+// emits a move trace span when it ends. Executors owned by a Controller
+// are wired through Config.Tracer instead.
+func (e *Executor) AttachTracer(t *obs.Tracer) { e.tracer = t }
+
+// emitMoveTrace journals the trace span of move seq ending at time t.
+// Span identity is a pure function of (planRound, seq), so the query legs
+// a move delays can name it without ever talking to the executor.
+func (e *Executor) emitMoveTrace(t float64, seq int, st *moveState) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(t, e.planRound, obs.TraceEvent{
+		ID:      obs.RoundTraceID(e.planRound).String(),
+		Span:    obs.MoveSpanID(e.planRound, seq).String(),
+		Parent:  obs.RoundSpanID(e.planRound).String(),
+		Op:      obs.OpMove,
+		Start:   st.startedAt,
+		Machine: int(st.mv.To),
+		Shard:   int(st.mv.S),
+		Seq:     seq,
+	})
 }
 
 // emitMove journals one move-span event; no-op without a journal. Events
@@ -262,6 +302,7 @@ func (e *Executor) SetPlan(p *plan.Plan) {
 		e.moves[i] = moveState{mv: mv}
 	}
 	e.pending = len(p.Moves)
+	e.planRound = e.round
 }
 
 // abort cancels every non-terminal move and releases reservations. The
@@ -279,8 +320,9 @@ func (e *Executor) abort() {
 				e.m.aborted.Inc()
 			}
 			e.emitMove(e.lastNow, obs.PhaseEnd, obs.OutcomeAborted, i, st, e.lastNow-st.startedAt)
+			e.emitMoveTrace(e.lastNow, i, st)
 			if e.cfg.Observer != nil {
-				e.cfg.Observer.MoveFinished(st.mv, e.lastNow, false)
+				e.cfg.Observer.MoveFinished(st.mv, MoveRef{Round: e.planRound, Seq: i}, e.lastNow, false)
 			}
 		case MovePending, MoveRetrying:
 			e.counters.Cancelled++
@@ -399,8 +441,9 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 				e.m.failures.Inc()
 			}
 			e.emitMove(st.finishAt, obs.PhaseEnd, obs.OutcomeFailed, best, st, copySecs)
+			e.emitMoveTrace(st.finishAt, best, st)
 			if e.cfg.Observer != nil {
-				e.cfg.Observer.MoveFinished(mv, st.finishAt, false)
+				e.cfg.Observer.MoveFinished(mv, MoveRef{Round: e.planRound, Seq: best}, st.finishAt, false)
 			}
 			if st.attempts >= e.cfg.MaxAttempts {
 				// Terminal failure. Mark the move cancelled here — its
@@ -433,8 +476,9 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 			e.m.completed.Inc()
 		}
 		e.emitMove(st.finishAt, obs.PhaseEnd, obs.OutcomeOK, best, st, copySecs)
+		e.emitMoveTrace(st.finishAt, best, st)
 		if e.cfg.Observer != nil {
-			e.cfg.Observer.MoveFinished(mv, st.finishAt, true)
+			e.cfg.Observer.MoveFinished(mv, MoveRef{Round: e.planRound, Seq: best}, st.finishAt, true)
 		}
 	}
 }
@@ -504,7 +548,7 @@ func (e *Executor) dispatch(live *cluster.Placement, now float64) error {
 		}
 		e.emitMove(now, obs.PhaseBegin, "", i, st, 0)
 		if e.cfg.Observer != nil {
-			e.cfg.Observer.MoveStarted(mv, now, st.finishAt)
+			e.cfg.Observer.MoveStarted(mv, MoveRef{Round: e.planRound, Seq: i}, now, st.finishAt)
 		}
 	}
 	return nil

@@ -314,7 +314,7 @@ type obsLog struct {
 
 func newObsLog() *obsLog { return &obsLog{open: map[cluster.ShardID]int{}} }
 
-func (o *obsLog) MoveStarted(mv plan.Move, at, eta float64) {
+func (o *obsLog) MoveStarted(mv plan.Move, ref MoveRef, at, eta float64) {
 	if eta <= at {
 		panic("eta not after start")
 	}
@@ -322,7 +322,7 @@ func (o *obsLog) MoveStarted(mv plan.Move, at, eta float64) {
 	o.events = append(o.events, fmt.Sprintf("start s%d %g", mv.S, at))
 }
 
-func (o *obsLog) MoveFinished(mv plan.Move, at float64, committed bool) {
+func (o *obsLog) MoveFinished(mv plan.Move, ref MoveRef, at float64, committed bool) {
 	if o.open[mv.S] <= 0 {
 		panic("finish without matching start")
 	}

@@ -176,6 +176,10 @@ func RunCampaign(cfg CampaignConfig, variant string) (*CampaignResult, error) {
 	ccfg.Seed = cfg.Seed
 	ccfg.Registry = cfg.Registry
 	ccfg.Journal = cfg.Journal
+	// With tracing on, the controller and executor join the simulator's
+	// tracer: round/solve/move spans land in the same journal, and query
+	// legs can name the moves that delayed them.
+	ccfg.Tracer = sim.Tracer()
 
 	c, err := ctl.New(ccfg, sim, p, sim)
 	if err != nil {

@@ -56,6 +56,13 @@ func (m *simMetrics) observe(ph Phase, latency float64) {
 	m.hByPhase[ph].Observe(latency)
 }
 
+// observeTraced records one completed sampled query, leaving its trace
+// ID as the exemplar of the latency bucket it lands in.
+func (m *simMetrics) observeTraced(ph Phase, latency float64, id obs.TraceID) {
+	m.qByPhase[ph].Inc()
+	m.hByPhase[ph].ObserveTraced(latency, id.String())
+}
+
 // syncLow refreshes the low-frequency families from simulator state.
 func (m *simMetrics) syncLow(s *Sim) {
 	m.events.Add(float64(s.events - m.lastEvents))

@@ -1,5 +1,7 @@
 package des
 
+import "rexchange/internal/ctl"
+
 // LegState is the lifecycle of one query leg inside a machine queue. The
 // transition table is machine-checked by rexlint's statecheck analyzer:
 // a leg can never skip the queue, run twice, or complete from the queued
@@ -35,11 +37,14 @@ func (s LegState) String() string {
 }
 
 // leg is one unit of query work routed to a machine: the owning query and
-// the work to serve, in cluster Load units (speed-seconds).
+// the work to serve, in cluster Load units (speed-seconds). tr is nil on
+// every unsampled leg — the hot path carries one extra pointer-sized
+// field and allocates nothing.
 type leg struct {
 	q     int32
 	work  float64
 	state LegState
+	tr    *legTrace
 }
 
 // machine is the simulator's per-machine serving state: a FIFO ring of
@@ -50,9 +55,40 @@ type machine struct {
 	speed  float64 // cluster serving speed (Load units per second)
 	copies int     // outbound migration copies currently streaming
 
+	// refs identifies the copies behind the count, oldest first. Blame
+	// attribution charges a delayed leg to the oldest active copy: it
+	// has degraded the machine longest over the leg's lifetime. Kept in
+	// arrival order by append/remove, both on the single-goroutine
+	// observer path.
+	refs []ctl.MoveRef
+
 	ring []leg // power-of-two capacity circular buffer
 	head int
 	n    int
+}
+
+// addRef records an outbound copy's identity alongside copies++.
+func (m *machine) addRef(ref ctl.MoveRef) { m.refs = append(m.refs, ref) }
+
+// dropRef removes the finished copy's identity, preserving order.
+func (m *machine) dropRef(ref ctl.MoveRef) {
+	for i, r := range m.refs {
+		if r == ref {
+			m.refs = append(m.refs[:i], m.refs[i+1:]...)
+			return
+		}
+	}
+}
+
+// oldestRef returns the longest-active copy on the machine; ok is false
+// when none is streaming.
+//
+//rexlint:noalloc
+func (m *machine) oldestRef() (ctl.MoveRef, bool) {
+	if len(m.refs) == 0 {
+		return ctl.MoveRef{}, false
+	}
+	return m.refs[0], true
 }
 
 // depth returns the number of legs queued or running on the machine.

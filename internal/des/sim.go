@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"rexchange/internal/cluster"
+	"rexchange/internal/ctl"
 	"rexchange/internal/obs"
 	"rexchange/internal/plan"
 	"rexchange/internal/rng"
@@ -67,6 +68,11 @@ type Config struct {
 	// MaxQueue caps a machine's queue depth in legs; a query any of
 	// whose legs meets a full queue is dropped whole. 0 = unbounded.
 	MaxQueue int `json:"max_queue"`
+	// TraceSample is the fraction of admitted queries traced end to end
+	// (0 disables tracing, 1 traces everything). Sampling draws only
+	// from the isolated rng "trace" sub-stream, so any setting leaves
+	// offered load and arrival sequences bit-identical.
+	TraceSample float64 `json:"trace_sample"`
 	// Seed derives the workload, drift, and chaos sub-streams. Policy
 	// and solver randomness live elsewhere, so changing them never
 	// perturbs the workload.
@@ -109,6 +115,9 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.MaxQueue < 0 {
 		return fmt.Errorf("des: negative MaxQueue %d", cfg.MaxQueue)
+	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return fmt.Errorf("des: TraceSample must be in [0,1], got %g", cfg.TraceSample)
 	}
 	return nil
 }
@@ -186,6 +195,12 @@ type Sim struct {
 
 	m       *simMetrics
 	journal *obs.Journal
+
+	// tracer samples queries from the isolated "trace" stream; traced
+	// holds merge-tracking state per sampled in-flight query, keyed by
+	// query slot (entries retire at completion, so slot reuse is safe).
+	tracer *obs.Tracer
+	traced map[int32]*tracedQuery
 }
 
 // New builds a simulator over the given placement and query trace. The
@@ -213,8 +228,8 @@ func New(cfg Config, p *cluster.Placement, tr *workload.Trace) (*Sim, error) {
 		streams:  rng.NewPartitioned(cfg.Seed),
 		srcLoad:  make([]float64, c.NumShards()),
 	}
-	s.workload = s.streams.Stream("workload")
-	s.drift = s.streams.Stream("drift")
+	s.workload = s.streams.Stream(rng.StreamWorkload)
+	s.drift = s.streams.Stream(rng.StreamDrift)
 	s.picks = make([]cluster.ShardID, cfg.Fanout)
 	totalSpeed := 0.0
 	for i := range s.machines {
@@ -259,13 +274,26 @@ func New(cfg Config, p *cluster.Placement, tr *workload.Trace) (*Sim, error) {
 }
 
 // AttachObs wires a metric registry and/or JSONL journal (either may be
-// nil). Call before the first Sleep.
+// nil). Call before the first Sleep. When cfg.TraceSample > 0 this also
+// builds the query tracer over the isolated "trace" rng stream; sampled
+// spans go to the journal and, with a registry attached, the rex_trace_*
+// families count them.
 func (s *Sim) AttachObs(reg *obs.Registry, j *obs.Journal) {
 	if reg != nil {
 		s.m = newSimMetrics(reg)
 	}
 	s.journal = j
+	if s.cfg.TraceSample > 0 {
+		s.tracer = obs.NewTracer(s.streams.Stream(rng.StreamTrace), s.cfg.TraceSample, j)
+		s.tracer.AttachMetrics(reg)
+		s.traced = make(map[int32]*tracedQuery)
+	}
 }
+
+// Tracer returns the query tracer, nil unless AttachObs ran with
+// cfg.TraceSample > 0. Campaign wiring hands it to ctl.Config.Tracer so
+// controller and executor spans land in the same journal.
+func (s *Sim) Tracer() *obs.Tracer { return s.tracer }
 
 // Chaos returns the dedicated chaos sub-stream, for wiring deterministic
 // copy-failure injection into ctl.ExecConfig.Failure without perturbing
@@ -335,9 +363,11 @@ func (s *Sim) Next(t0, t1 float64) ([]float64, error) {
 }
 
 // MoveStarted implements ctl.MoveObserver: an outbound copy starts
-// degrading its source machine.
-func (s *Sim) MoveStarted(mv plan.Move, at, eta float64) {
+// degrading its source machine, and its identity joins the machine's
+// blame candidates.
+func (s *Sim) MoveStarted(mv plan.Move, ref ctl.MoveRef, at, eta float64) {
 	s.machines[mv.From].copies++
+	s.machines[mv.From].addRef(ref)
 	s.copiesStarted++
 	s.activeCopies++
 	if s.m != nil {
@@ -347,8 +377,9 @@ func (s *Sim) MoveStarted(mv plan.Move, at, eta float64) {
 
 // MoveFinished implements ctl.MoveObserver: the copy's degradation ends,
 // and a committed move re-routes the shard's future queries.
-func (s *Sim) MoveFinished(mv plan.Move, at float64, committed bool) {
+func (s *Sim) MoveFinished(mv plan.Move, ref ctl.MoveRef, at float64, committed bool) {
 	s.machines[mv.From].copies--
+	s.machines[mv.From].dropRef(ref)
 	s.activeCopies--
 	if at > s.lastCopyEnd {
 		s.lastCopyEnd = at
@@ -460,10 +491,21 @@ func (s *Sim) arrivalEvent(t float64) {
 		}
 	}
 	qi := s.allocQuery(t, int32(len(picks)))
-	for _, sh := range picks {
+	// Sampling happens after admission, from the isolated trace stream:
+	// only queries that will complete (or die with the run) are traced,
+	// and the decision can never perturb the workload draws above.
+	var tq *tracedQuery
+	if id, ok := s.tracer.Sample(); ok {
+		tq = s.traceQuery(qi, id)
+	}
+	for i, sh := range picks {
 		mi := s.home[sh]
 		m := &s.machines[mi]
-		m.push(leg{q: qi, work: work})
+		var lt *legTrace
+		if tq != nil {
+			lt = s.traceEnqueue(tq, i, int(sh), int(mi), t, m)
+		}
+		m.push(leg{q: qi, work: work, tr: lt})
 		if m.depth() == 1 {
 			s.startService(t, int32(mi))
 		}
@@ -499,7 +541,16 @@ func (s *Sim) startService(t float64, mi int32) {
 	m := &s.machines[mi]
 	l := m.front()
 	l.state = LegRunning
-	service := l.work * s.serveScale / m.effectiveSpeed(s.cfg.Drag)
+	eff := m.effectiveSpeed(s.cfg.Drag)
+	if l.tr != nil {
+		l.tr.svcAt = t
+		l.tr.effSvc = eff
+		l.tr.copiesSvc = len(m.refs)
+		if ref, ok := m.oldestRef(); ok {
+			l.tr.refSvc = ref
+		}
+	}
+	service := l.work * s.serveScale / eff
 	s.heap.Push(Event{At: t + service, Kind: KindLegDone, Q: l.q, M: mi})
 }
 
@@ -509,6 +560,9 @@ func (s *Sim) legDoneEvent(t float64, mi int32) {
 	m := &s.machines[mi]
 	l := m.pop()
 	l.state = LegDone
+	if l.tr != nil {
+		s.traceLegDone(t, &l, m)
+	}
 	q := &s.qs[l.q]
 	q.remain--
 	if q.remain == 0 {
@@ -529,8 +583,16 @@ func (s *Sim) complete(t float64, qi int32) {
 	s.winLat = append(s.winLat, latency)
 	s.winCompleted++
 	s.free = append(s.free, qi)
+	tq := s.traced[qi]
+	if tq != nil {
+		s.traceComplete(t, qi, tq, q.arrive, ph)
+	}
 	if s.m != nil {
-		s.m.observe(ph, latency)
+		if tq != nil {
+			s.m.observeTraced(ph, latency, tq.id)
+		} else {
+			s.m.observe(ph, latency)
+		}
 	}
 }
 

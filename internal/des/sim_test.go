@@ -119,7 +119,7 @@ func TestMigrationDegradesSource(t *testing.T) {
 
 	q0 := s.allocQuery(0, 1)
 	enqueue(s, 0, q0, 0, 1) // service scheduled at full speed: done at 1
-	s.MoveStarted(mv, 0.5, 10)
+	s.MoveStarted(mv, ctl.MoveRef{}, 0.5, 10)
 	s.Sleep(2)
 	// The copy overlapped the query's lifetime, so it lands in "during" —
 	// but its in-flight service was not rescheduled.
@@ -137,7 +137,7 @@ func TestMigrationDegradesSource(t *testing.T) {
 	}
 
 	// After the copy ends, full speed returns.
-	s.MoveFinished(mv, 5, false)
+	s.MoveFinished(mv, ctl.MoveRef{}, 5, false)
 	q2 := s.allocQuery(6, 1)
 	enqueue(s, 6, q2, 0, 1)
 	s.Sleep(3)
@@ -151,13 +151,13 @@ func TestMigrationDegradesSource(t *testing.T) {
 func TestCommittedMoveReroutes(t *testing.T) {
 	s := bareSim([]float64{1, 1}, 2)
 	mv := plan.Move{S: 1, From: 0, To: 1}
-	s.MoveStarted(mv, 0, 1)
-	s.MoveFinished(mv, 1, false)
+	s.MoveStarted(mv, ctl.MoveRef{}, 0, 1)
+	s.MoveFinished(mv, ctl.MoveRef{}, 1, false)
 	if s.home[1] != 0 {
 		t.Fatalf("aborted copy moved shard: home = %d", s.home[1])
 	}
-	s.MoveStarted(mv, 2, 3)
-	s.MoveFinished(mv, 3, true)
+	s.MoveStarted(mv, ctl.MoveRef{}, 2, 3)
+	s.MoveFinished(mv, ctl.MoveRef{}, 3, true)
 	if s.home[1] != 1 {
 		t.Fatalf("committed move did not reroute: home = %d", s.home[1])
 	}
@@ -170,11 +170,11 @@ func TestPhaseClassification(t *testing.T) {
 		t.Fatalf("no copies yet: %v, want before", ph)
 	}
 	mv := plan.Move{S: 0, From: 0, To: 0}
-	s.MoveStarted(mv, 1, 2)
+	s.MoveStarted(mv, ctl.MoveRef{}, 1, 2)
 	if ph := s.classify(0.5); ph != PhaseDuring {
 		t.Fatalf("copy active: %v, want during", ph)
 	}
-	s.MoveFinished(mv, 2, true)
+	s.MoveFinished(mv, ctl.MoveRef{}, 2, true)
 	// Arrived before the copy ended → overlapped → during.
 	if ph := s.classify(1.5); ph != PhaseDuring {
 		t.Fatalf("overlapped finished copy: %v, want during", ph)
@@ -350,38 +350,54 @@ func TestCampaignEndToEnd(t *testing.T) {
 	}
 }
 
-// TestPolicyCannotPerturbWorkload: migrations and chaos draws touch the
-// simulator's routing and chaos streams only — the arrival process and
-// shard picks come from the isolated workload stream, so two sims with
-// wildly different policy activity observe identical offered load.
+// TestPolicyCannotPerturbWorkload: migrations, chaos draws, and trace
+// sampling touch the simulator's routing, chaos, and trace streams only —
+// the arrival process and shard picks come from the isolated workload
+// stream, so sims with wildly different policy and observability activity
+// observe identical offered load.
 func TestPolicyCannotPerturbWorkload(t *testing.T) {
-	mk := func() *Sim {
+	mk := func(traceSample float64) *Sim {
 		p := flatCluster(t, []float64{4, 2, 2, 1})
 		cfg := DefaultConfig()
 		cfg.Fanout = 2
 		cfg.Window = 5
 		cfg.DriftSigma = 0.3
+		cfg.TraceSample = traceSample
 		s, err := New(cfg, p, flatSimTrace(100, 20))
 		if err != nil {
 			t.Fatal(err)
 		}
+		if traceSample > 0 {
+			// Activate the tracer; a nil journal discards the spans but
+			// the sampler still draws per arrival.
+			s.AttachObs(nil, nil)
+		}
 		return s
 	}
-	quiet, busy := mk(), mk()
+	quiet, busy := mk(0), mk(0)
+	traced := mk(1)
 
 	// The busy sim sees migrations and burns chaos randomness mid-run.
 	mv := plan.Move{S: 0, From: 0, To: 3}
 	busy.Sleep(3)
-	busy.MoveStarted(mv, 3, 6)
+	busy.MoveStarted(mv, ctl.MoveRef{Round: 1, Seq: 0}, 3, 6)
 	busy.Chaos().Float64()
 	busy.Sleep(4)
-	busy.MoveFinished(mv, 7, true)
+	busy.MoveFinished(mv, ctl.MoveRef{Round: 1, Seq: 0}, 7, true)
 	busy.Chaos().Float64()
 	busy.Sleep(3)
 	quiet.Sleep(10)
+	// The traced sim samples every query end-to-end.
+	traced.Sleep(10)
 
 	if quiet.arrived != busy.arrived {
 		t.Fatalf("arrival counts diverged: quiet %d, busy %d", quiet.arrived, busy.arrived)
+	}
+	if quiet.arrived != traced.arrived {
+		t.Fatalf("trace sampling perturbed arrivals: quiet %d, traced %d", quiet.arrived, traced.arrived)
+	}
+	if traced.tracer == nil || !traced.tracer.Enabled() {
+		t.Fatal("traced sim never activated its tracer")
 	}
 	a, err := quiet.Next(0, 10)
 	if err != nil {
@@ -391,9 +407,16 @@ func TestPolicyCannotPerturbWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	c, err := traced.Next(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("offered load diverged at shard %d: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			t.Fatalf("trace sampling perturbed offered load at shard %d: %g vs %g", i, a[i], c[i])
 		}
 	}
 }

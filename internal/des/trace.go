@@ -1,0 +1,185 @@
+package des
+
+import (
+	"rexchange/internal/ctl"
+	"rexchange/internal/obs"
+)
+
+// Query tracing. A sampled query becomes a span tree:
+//
+//	query (root, arrival → completion, tagged with migration phase)
+//	├── leg i (enqueue → service done, per fan-out leg)
+//	│   ├── queue   (enqueue → service start)
+//	│   └── service (service start → service done)
+//	├── …
+//	└── merge (first leg completion → last leg completion)
+//
+// Trace IDs come from the tracer's isolated rng stream; every span ID is
+// derived from the trace ID and the span's position (obs.DeriveSpan), so
+// the journal bytes are a pure function of the configuration. Spans are
+// emitted at their end times, in event order, from the single simulator
+// goroutine — deterministic across GOMAXPROCS by construction.
+//
+// Blame attribution: a leg delayed by migration carries a blocked_by
+// link naming one move (ctl.MoveRef). Two delay mechanisms compete:
+//
+//   - drag: copies streaming off the machine during the leg's own
+//     service slowed it from speed to effSvc, costing
+//     work·serveScale·(1/effSvc − 1/speed) seconds;
+//   - queue: the wait behind earlier legs was stretched because the
+//     machine was degraded when the leg enqueued, costing approximately
+//     wait·(1 − effEnq/speed) seconds (the wait that an undegraded
+//     machine would not have charged).
+//
+// The larger of the two wins and is charged to the oldest copy active on
+// the machine at the relevant instant — the one that has degraded the
+// machine longest. The estimate is conservative per leg but exact in
+// aggregate intent: it never names a move whose copy was not actually
+// streaming off the delayed leg's machine.
+
+// Span-tree indices under a query trace (obs.DeriveSpan tuples).
+const (
+	idxQueryRoot = 0
+	idxMergeSpan = 1
+	idxLegBase   = 2 // legs are (idxLegBase, i); children (idxLegBase, i, 0|1)
+)
+
+// Child indices within one leg span.
+const (
+	idxQueueChild   = 0
+	idxServiceChild = 1
+)
+
+// legTrace is the per-leg capture of a sampled query, allocated only for
+// sampled legs and carried by pointer in the machine ring.
+type legTrace struct {
+	trace   obs.TraceID
+	idx     int // leg index within the query's fan-out
+	shard   int
+	machine int
+
+	enq       float64 // enqueue time
+	effEnq    float64 // machine effective speed at enqueue
+	copiesEnq int
+	refEnq    ctl.MoveRef // oldest active copy at enqueue (valid when copiesEnq > 0)
+
+	svcAt     float64 // service start time
+	effSvc    float64 // machine effective speed at service start
+	copiesSvc int
+	refSvc    ctl.MoveRef
+}
+
+// tracedQuery is the per-query merge-tracking state of a sampled query,
+// kept in Sim.traced until completion.
+type tracedQuery struct {
+	id        obs.TraceID
+	firstDone float64 // earliest leg completion (merge span start)
+	legsDone  int
+	slowMach  int // machine of the last-completing leg
+}
+
+// traceQuery registers a freshly sampled query.
+func (s *Sim) traceQuery(qi int32, id obs.TraceID) *tracedQuery {
+	tq := &tracedQuery{id: id, slowMach: -1}
+	s.traced[qi] = tq
+	return tq
+}
+
+// traceEnqueue captures the enqueue-side state of one sampled leg.
+func (s *Sim) traceEnqueue(tq *tracedQuery, i, shard, mi int, t float64, m *machine) *legTrace {
+	lt := &legTrace{
+		trace: tq.id, idx: i, shard: shard, machine: mi,
+		enq: t, effEnq: m.effectiveSpeed(s.cfg.Drag), copiesEnq: len(m.refs),
+	}
+	if ref, ok := m.oldestRef(); ok {
+		lt.refEnq = ref
+	}
+	return lt
+}
+
+// blame attributes the leg's migration-induced delay to one move, or nil
+// when no copy touched it.
+func (lt *legTrace) blame(work, serveScale, speed float64) *obs.BlameRef {
+	var dragDelay, queueDelay float64
+	if lt.copiesSvc > 0 && lt.effSvc < speed {
+		dragDelay = work * serveScale * (1/lt.effSvc - 1/speed)
+	}
+	if lt.copiesEnq > 0 && lt.effEnq < speed {
+		queueDelay = (lt.svcAt - lt.enq) * (1 - lt.effEnq/speed)
+	}
+	switch {
+	case dragDelay <= 0 && queueDelay <= 0:
+		return nil
+	case dragDelay >= queueDelay:
+		return &obs.BlameRef{
+			Round: lt.refSvc.Round, Seq: lt.refSvc.Seq,
+			Machine: lt.machine, Kind: obs.BlameDrag, Delay: dragDelay,
+		}
+	default:
+		return &obs.BlameRef{
+			Round: lt.refEnq.Round, Seq: lt.refEnq.Seq,
+			Machine: lt.machine, Kind: obs.BlameQueue, Delay: queueDelay,
+		}
+	}
+}
+
+// curWindow is the measurement window in progress, used as the Round tag
+// on simulator-emitted trace records. Campaigns align the window with
+// the control round, so the tag slices a journal consistently.
+func (s *Sim) curWindow() int {
+	if s.windowIdx > 0 {
+		return s.windowIdx - 1
+	}
+	return 0
+}
+
+// traceLegDone emits the queue, service, and leg spans of one completed
+// sampled leg and advances its query's merge tracking.
+func (s *Sim) traceLegDone(t float64, l *leg, m *machine) {
+	lt := l.tr
+	legSpan := obs.DeriveSpan(lt.trace, idxLegBase, lt.idx)
+	id := lt.trace.String()
+	parent := legSpan.String()
+	w := s.curWindow()
+	s.tracer.Emit(lt.svcAt, w, obs.TraceEvent{
+		ID: id, Span: obs.DeriveSpan(lt.trace, idxLegBase, lt.idx, idxQueueChild).String(),
+		Parent: parent, Op: obs.OpQueue,
+		Start: lt.enq, Machine: lt.machine, Shard: lt.shard, Seq: -1,
+	})
+	s.tracer.Emit(t, w, obs.TraceEvent{
+		ID: id, Span: obs.DeriveSpan(lt.trace, idxLegBase, lt.idx, idxServiceChild).String(),
+		Parent: parent, Op: obs.OpService,
+		Start: lt.svcAt, Machine: lt.machine, Shard: lt.shard, Seq: -1,
+	})
+	s.tracer.Emit(t, w, obs.TraceEvent{
+		ID: id, Span: legSpan.String(),
+		Parent: obs.DeriveSpan(lt.trace, idxQueryRoot).String(), Op: obs.OpLeg,
+		Start: lt.enq, Machine: lt.machine, Shard: lt.shard, Seq: -1,
+		Blocked: lt.blame(l.work, s.serveScale, m.speed),
+	})
+	if tq, ok := s.traced[l.q]; ok {
+		if tq.legsDone == 0 {
+			tq.firstDone = t
+		}
+		tq.legsDone++
+		tq.slowMach = lt.machine // the leg completing last overwrites
+	}
+}
+
+// traceComplete emits the merge barrier and root spans of a completed
+// sampled query and retires its tracking entry.
+func (s *Sim) traceComplete(t float64, qi int32, tq *tracedQuery, arrive float64, ph Phase) {
+	w := s.curWindow()
+	root := obs.DeriveSpan(tq.id, idxQueryRoot)
+	s.tracer.Emit(t, w, obs.TraceEvent{
+		ID: tq.id.String(), Span: obs.DeriveSpan(tq.id, idxMergeSpan).String(),
+		Parent: root.String(), Op: obs.OpMerge,
+		Start: tq.firstDone, Machine: tq.slowMach, Shard: -1, Seq: -1,
+	})
+	s.tracer.Emit(t, w, obs.TraceEvent{
+		ID: tq.id.String(), Span: root.String(), Op: obs.OpQuery,
+		Start: arrive, Machine: -1, Shard: -1, Seq: -1,
+		Mig: ph.String(),
+	})
+	delete(s.traced, qi)
+}

@@ -1,0 +1,123 @@
+package des
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"rexchange/internal/obs"
+)
+
+// traceCampaign runs a solve campaign with query tracing into an
+// in-memory journal and returns the raw journal bytes.
+func traceCampaign(t *testing.T, procs int) []byte {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	var buf bytes.Buffer
+	cfg := DefaultCampaignConfig()
+	cfg.Machines, cfg.Shards, cfg.Rounds = 16, 160, 5
+	cfg.Rate, cfg.Iterations = 60, 120
+	cfg.Sim.Window = 5
+	cfg.Sim.DriftSigma = 0.4
+	cfg.Sim.TraceSample = 0.5
+	cfg.Registry = obs.NewRegistry()
+	cfg.Journal = obs.NewJournal(&buf)
+	if _, err := RunCampaign(cfg, "solve"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rextraceRender is exactly what cmd/rextrace prints for
+// -critical-path -blame -top 10.
+func rextraceRender(t *testing.T, journal []byte) string {
+	t.Helper()
+	events, err := obs.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := obs.BuildTraces(events)
+	return obs.CriticalPath(traces) + obs.Blame(traces) + obs.Top(traces, 10)
+}
+
+// TestTraceJournalDeterministic: with tracing on, both the journal bytes
+// and the full rextrace analysis are byte-identical across GOMAXPROCS=1
+// and GOMAXPROCS=8. The controller's parallel solves and the executor run
+// inside, so this pins the whole causal-tracing stack, not just the
+// renderers.
+func TestTraceJournalDeterministic(t *testing.T) {
+	j1 := traceCampaign(t, 1)
+	j8 := traceCampaign(t, 8)
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("trace journal differs across GOMAXPROCS: %d vs %d bytes", len(j1), len(j8))
+	}
+	r1, r8 := rextraceRender(t, j1), rextraceRender(t, j8)
+	if r1 != r8 {
+		t.Fatalf("rextrace output differs across GOMAXPROCS:\n--- 1 ---\n%s--- 8 ---\n%s", r1, r8)
+	}
+}
+
+// TestTraceBlamesMigrationTail: the acceptance check for migration blame.
+// Over a campaign journal, at least one during-migration query in the
+// latency tail (at or above the sampled during-phase p99) must carry a
+// blocked_by link naming a specific move Seq, and the rextrace blame
+// report must name that move.
+func TestTraceBlamesMigrationTail(t *testing.T) {
+	journal := traceCampaign(t, 1)
+	events, err := obs.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := obs.BuildTraces(events)
+
+	type blamed struct {
+		latency float64
+		ref     *obs.BlameRef
+	}
+	var during []blamed
+	for _, tr := range traces {
+		if tr.Root == nil || tr.Root.Op != obs.OpQuery || tr.Root.Mig != "during" {
+			continue
+		}
+		b := blamed{latency: tr.Root.Duration()}
+		for _, sp := range tr.Spans {
+			if sp.Op == obs.OpLeg && sp.Blocked != nil {
+				if b.ref == nil || sp.Blocked.Delay > b.ref.Delay {
+					b.ref = sp.Blocked
+				}
+			}
+		}
+		during = append(during, b)
+	}
+	if len(during) == 0 {
+		t.Fatal("no during-phase queries were sampled")
+	}
+	sort.Slice(during, func(i, j int) bool { return during[i].latency < during[j].latency })
+	p99 := during[len(during)*99/100].latency
+
+	var tail *obs.BlameRef
+	for _, b := range during {
+		if b.latency >= p99 && b.ref != nil {
+			tail = b.ref
+			break
+		}
+	}
+	if tail == nil {
+		t.Fatalf("no during-phase p99 query (>= %.6f over %d sampled) carries a blocked_by move link",
+			p99, len(during))
+	}
+	if tail.Seq < 0 || tail.Round < 0 {
+		t.Fatalf("tail blame link lacks a move identity: %+v", tail)
+	}
+	want := fmt.Sprintf("move r%d#%d", tail.Round, tail.Seq)
+	if blame := obs.Blame(traces); !strings.Contains(blame, want) {
+		t.Fatalf("blame report does not name %s:\n%s", want, blame)
+	}
+}

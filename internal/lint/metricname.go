@@ -10,7 +10,7 @@ import (
 
 // MetricName enforces the exposition naming contract at registration sites:
 // every metric registered on an internal/obs Registry (Counter, Gauge,
-// Histogram, CounterVec, GaugeVec) must pass a string literal matching
+// Histogram, CounterVec, GaugeVec, HistogramVec) must pass a string literal matching
 // rex_<snake_case> as its name. The registry validates names at runtime
 // and panics on garbage, but only on the first scrape of a rarely-taken
 // code path; a literal checked statically fails in CI instead of in a
@@ -30,11 +30,12 @@ var metricNameRe = regexp.MustCompile(`^rex_[a-z0-9]+(_[a-z0-9]+)*$`)
 // registryMethods are the Registry registration entry points whose first
 // argument is the metric name.
 var registryMethods = map[string]bool{
-	"Counter":    true,
-	"Gauge":      true,
-	"Histogram":  true,
-	"CounterVec": true,
-	"GaugeVec":   true,
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
 }
 
 func runMetricName(pass *Pass) error {

@@ -68,3 +68,22 @@ func okHandlesTime(d time.Duration, t time.Time) time.Time {
 func okClockUse(c Clock) float64 {
 	return c.Now()
 }
+
+// sampler mirrors the des/obs trace sampler shape: it timestamps spans
+// and must do so through the injected clock, never the ambient one —
+// otherwise trace emission would perturb a deterministic simulation.
+type sampler struct{ clock Clock }
+
+func (s *sampler) okSpanStart() float64 {
+	return s.clock.Now()
+}
+
+func (s *sampler) badSpanStart() int64 {
+	return time.Now().UnixNano() // want `time\.Now bypasses the Clock seam`
+}
+
+// badSamplerHelper hides the ambient read one call deep; the
+// interprocedural pass flags the call site.
+func badSamplerHelper() int64 {
+	return bad() // want `call of clockpurity\.bad hides time\.Now`
+}

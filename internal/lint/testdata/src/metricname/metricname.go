@@ -17,13 +17,15 @@ func register(reg *obs.Registry, shard int) {
 	reg.Histogram("rex_copy_seconds", "ok", obs.TimeBuckets())
 	reg.CounterVec("rex_iterations_total", "ok", "outcome")
 	reg.GaugeVec("rex_pressure", "ok", "resource")
+	reg.HistogramVec("rex_trace_span_seconds", "ok", obs.TimeBuckets(), "op")
 	reg.Counter(goodConst, "constant expressions are literals too")
 
-	reg.Counter("moves_total", "no prefix")           // want `metric name "moves_total" must match`
-	reg.Gauge("rex_InFlight", "camel case")           // want `metric name "rex_InFlight" must match`
-	reg.Counter("rex__double_total", "doubled _")     // want `metric name "rex__double_total" must match`
-	reg.Counter("rex_trailing_", "trailing _")        // want `metric name "rex_trailing_" must match`
-	reg.CounterVec("rex-dashed", "dashes", "outcome") // want `metric name "rex-dashed" must match`
+	reg.Counter("moves_total", "no prefix")                              // want `metric name "moves_total" must match`
+	reg.Gauge("rex_InFlight", "camel case")                              // want `metric name "rex_InFlight" must match`
+	reg.Counter("rex__double_total", "doubled _")                        // want `metric name "rex__double_total" must match`
+	reg.Counter("rex_trailing_", "trailing _")                           // want `metric name "rex_trailing_" must match`
+	reg.CounterVec("rex-dashed", "dashes", "outcome")                    // want `metric name "rex-dashed" must match`
+	reg.HistogramVec("rex_TraceSpans", "camel", obs.TimeBuckets(), "op") // want `metric name "rex_TraceSpans" must match`
 
 	// Runtime-computed names defeat static and CI checks alike.
 	reg.Counter(fmt.Sprintf("rex_shard_%d_total", shard), "dynamic") // want `must be a string literal`

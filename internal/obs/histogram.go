@@ -17,13 +17,27 @@ type Histogram struct {
 	counts []atomic.Uint64 // per-bucket (non-cumulative) observation counts
 	sum    atomicFloat
 	count  atomic.Uint64
+
+	// exemplars holds the last traced observation per bucket (index
+	// len(bounds) is the +Inf bucket), written by ObserveTraced and
+	// rendered only by the exemplar-enabled exposition path.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one bucket of a histogram to the trace that last landed
+// in it, OpenMetrics-style: the rendered bucket line gains a
+// `# {trace_id="…"} value` suffix.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // newHistogram builds a histogram over validated bounds.
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -59,6 +73,23 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveTraced records one value and remembers (trace, v) as the
+// exemplar of the bucket v lands in, replacing any previous one. The
+// observation itself is identical to Observe.
+func (h *Histogram) ObserveTraced(v float64, trace string) {
+	h.sum.Add(v)
+	h.count.Add(1)
+	idx := len(h.bounds) // +Inf
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			idx = i
+			break
+		}
+	}
+	h.exemplars[idx].Store(&Exemplar{TraceID: trace, Value: v})
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -66,23 +97,31 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
 // write renders the histogram exposition: cumulative _bucket series with
-// le labels (ending in +Inf), then _sum and _count.
-func (h *Histogram) write(w io.Writer, name string, labels, vals []string) error {
+// le labels (ending in +Inf), then _sum and _count. With exemplars set,
+// buckets that hold a traced observation append its
+// `# {trace_id="…"} value` suffix.
+func (h *Histogram) write(w io.Writer, name string, labels, vals []string, exemplars bool) error {
+	ex := func(i int) *Exemplar {
+		if !exemplars {
+			return nil
+		}
+		return h.exemplars[i].Load()
+	}
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if err := writeSample(w, name, labels, vals, "_bucket", FormatFloat(b), float64(cum)); err != nil {
+		if err := writeSample(w, name, labels, vals, "_bucket", FormatFloat(b), float64(cum), ex(i)); err != nil {
 			return err
 		}
 	}
 	total := h.count.Load()
-	if err := writeSample(w, name, labels, vals, "_bucket", "+Inf", float64(total)); err != nil {
+	if err := writeSample(w, name, labels, vals, "_bucket", "+Inf", float64(total), ex(len(h.bounds))); err != nil {
 		return err
 	}
-	if err := writeSample(w, name, labels, vals, "_sum", "", h.sum.Load()); err != nil {
+	if err := writeSample(w, name, labels, vals, "_sum", "", h.sum.Load(), nil); err != nil {
 		return err
 	}
-	return writeSample(w, name, labels, vals, "_count", "", float64(total))
+	return writeSample(w, name, labels, vals, "_count", "", float64(total), nil)
 }
 
 // TimeBuckets returns the default bucket bounds for durations in seconds,

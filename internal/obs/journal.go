@@ -14,6 +14,7 @@ const (
 	SpanSolve = "solve" // one budgeted SRA solve
 	SpanMove  = "move"  // one shard copy, dispatch → land
 	SpanSim   = "sim"   // one discrete-event simulator measurement window
+	SpanTrace = "trace" // one completed trace span (see TraceEvent)
 )
 
 // Span phases.
@@ -82,6 +83,9 @@ type Event struct {
 
 	// Sim payload (SpanSim records).
 	Sim *SimEvent `json:"sim,omitempty"`
+
+	// Trace payload (SpanTrace records).
+	Trace *TraceEvent `json:"trace,omitempty"`
 }
 
 // Journal writes events as JSON Lines. Emit is safe for concurrent use;
@@ -160,6 +164,14 @@ func ReadJournal(r io.Reader) ([]Event, error) {
 		}
 		if ev.Span == "" || ev.Phase == "" {
 			return nil, fmt.Errorf("obs: journal line %d: missing span/phase", line)
+		}
+		switch ev.Span {
+		case SpanRound, SpanSolve, SpanMove, SpanSim, SpanTrace:
+		default:
+			return nil, fmt.Errorf("obs: journal line %d: unknown span kind %q", line, ev.Span)
+		}
+		if ev.Span == SpanTrace && ev.Trace == nil {
+			return nil, fmt.Errorf("obs: journal line %d: trace span without trace payload", line)
 		}
 		out = append(out, ev)
 	}

@@ -20,6 +20,13 @@ func TestJournalPinnedSchema(t *testing.T) {
 		Seconds: 1.5, Move: &MoveEvent{Seq: 0, Shard: 3, From: 0, To: 4, Attempt: 1}})
 	j.Emit(Event{T: 20, Span: SpanSim, Phase: PhaseEnd, Round: 2,
 		Sim: &SimEvent{Window: 2, Arrivals: 100, Completed: 98, Dropped: 1, P50: 0.01, P99: 0.25, P999: 0.5, Copies: 3}})
+	j.Emit(Event{T: 21.5, Span: SpanTrace, Phase: PhaseEnd, Round: 2,
+		Trace: &TraceEvent{ID: "00000000000000ab", Span: "00000000000000cd", Parent: "00000000000000ef",
+			Op: OpLeg, Start: 20.25, Machine: 4, Shard: 9, Seq: -1,
+			Blocked: &BlameRef{Round: 2, Seq: 5, Machine: 4, Kind: BlameQueue, Delay: 0.125}}})
+	j.Emit(Event{T: 22, Span: SpanTrace, Phase: PhaseEnd, Round: 2,
+		Trace: &TraceEvent{ID: "00000000000000ab", Span: "00000000000000aa",
+			Op: OpQuery, Start: 20, Machine: -1, Shard: -1, Seq: -1, Mig: "during"}})
 	if err := j.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -28,12 +35,14 @@ func TestJournalPinnedSchema(t *testing.T) {
 {"t":11,"span":"move","phase":"begin","round":2,"move":{"seq":0,"shard":3,"from":0,"to":4,"attempt":1}}
 {"t":12.5,"span":"move","phase":"end","round":2,"outcome":"aborted","seconds":1.5,"move":{"seq":0,"shard":3,"from":0,"to":4,"attempt":1}}
 {"t":20,"span":"sim","phase":"end","round":2,"sim":{"window":2,"arrivals":100,"completed":98,"dropped":1,"p50":0.01,"p99":0.25,"p999":0.5,"copies":3}}
+{"t":21.5,"span":"trace","phase":"end","round":2,"trace":{"id":"00000000000000ab","sid":"00000000000000cd","pid":"00000000000000ef","op":"leg","start":20.25,"machine":4,"shard":9,"seq":-1,"blocked_by":{"round":2,"seq":5,"machine":4,"kind":"queue","delay":0.125}}}
+{"t":22,"span":"trace","phase":"end","round":2,"trace":{"id":"00000000000000ab","sid":"00000000000000aa","op":"query","start":20,"machine":-1,"shard":-1,"seq":-1,"mig":"during"}}
 `
 	if got := b.String(); got != want {
 		t.Fatalf("journal schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}
-	if j.Len() != 5 {
-		t.Fatalf("Len = %d, want 5", j.Len())
+	if j.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", j.Len())
 	}
 }
 
@@ -74,6 +83,20 @@ func TestReadJournalRejectsMalformed(t *testing.T) {
 	_, err = ReadJournal(strings.NewReader("{\"t\":1}\n"))
 	if err == nil || !strings.Contains(err.Error(), "missing span/phase") {
 		t.Fatalf("err = %v, want missing span/phase", err)
+	}
+	ok := "{\"t\":1,\"span\":\"round\",\"phase\":\"begin\",\"round\":0}\n"
+	_, err = ReadJournal(strings.NewReader(ok + ok + "{\"t\":2,\"span\":\"bogus\",\"phase\":\"end\",\"round\":0}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "unknown span kind \"bogus\"") {
+		t.Fatalf("err = %v, want unknown span kind at line 3", err)
+	}
+	_, err = ReadJournal(strings.NewReader(ok + "{\"t\":2,\"span\":\"trace\",\"phase\":\"end\",\"round\":0}\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "trace span without trace payload") {
+		t.Fatalf("err = %v, want missing trace payload at line 2", err)
+	}
+	// A truncated final line is malformed JSON, reported with its number.
+	_, err = ReadJournal(strings.NewReader(ok + "{\"t\":3,\"span\":\"tr"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want truncated line 2 failure", err)
 	}
 }
 

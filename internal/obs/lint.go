@@ -102,10 +102,18 @@ func LintExposition(r io.Reader, required ...string) []string {
 			}
 			continue
 		}
+		line, exPart, hasEx := cutExemplar(line)
 		s, err := parseSample(line)
 		if err != nil {
 			addf("line %d: %v", lineNo, err)
 			continue
+		}
+		if hasEx {
+			if !strings.HasSuffix(s.Name, "_bucket") {
+				addf("line %d: exemplar on non-bucket series %s", lineNo, s.Name)
+			} else if err := checkExemplar(exPart); err != nil {
+				addf("line %d: %v", lineNo, err)
+			}
 		}
 		base := s.Name
 		// Histogram child series attach to their base family.
@@ -262,6 +270,50 @@ func lintHistogram(name string, samples []Sample) []string {
 		}
 	}
 	return problems
+}
+
+// cutExemplar splits an OpenMetrics-style exemplar suffix
+// (` # {labels} value`) off a sample line. The separator cannot occur
+// inside a label value: escaping rewrites '"' and '\n', and a '#' inside
+// a quoted value is never preceded by an unquoted space-hash-space
+// sequence outside the braces — sample values themselves contain no
+// spaces.
+func cutExemplar(line string) (main, ex string, ok bool) {
+	i := strings.Index(line, " # ")
+	if i < 0 {
+		return line, "", false
+	}
+	return line[:i], line[i+3:], true
+}
+
+// checkExemplar validates one exemplar suffix: a well-formed label set
+// carrying trace_id, then a parseable value.
+func checkExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("exemplar must start with a label set, got %q", ex)
+	}
+	labels, rest, err := parseLabels(ex[1:])
+	if err != nil {
+		return fmt.Errorf("exemplar labels: %w", err)
+	}
+	found := false
+	for _, l := range labels {
+		if l.Name == "trace_id" {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("exemplar lacks a trace_id label")
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return fmt.Errorf("exemplar expects exactly one value, got %q", rest)
+	}
+	if _, err := parseFloatValue(fields[0]); err != nil {
+		return fmt.Errorf("exemplar has bad value %q", fields[0])
+	}
+	return nil
 }
 
 // labelKey renders labels canonically (sorted) for grouping.

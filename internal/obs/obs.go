@@ -246,6 +246,20 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(l
 // exposition format (version 0.0.4), deterministically: families sorted
 // by name, series sorted by label values.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writePrometheus(w, false)
+}
+
+// WritePrometheusExemplars renders the same exposition with histogram
+// exemplars appended to bucket lines (OpenMetrics-style
+// `# {trace_id="…"} value` suffixes). Kept behind its own entry point —
+// classic 0.0.4 scrapers may reject exemplar suffixes, so callers opt in
+// explicitly (rexsim's -metrics-exemplars flag).
+func (r *Registry) WritePrometheusExemplars(w io.Writer) error {
+	return r.writePrometheus(w, true)
+}
+
+// writePrometheus renders every family, optionally with exemplars.
+func (r *Registry) writePrometheus(w io.Writer, exemplars bool) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -259,7 +273,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Unlock()
 
 	for _, f := range fams {
-		if err := f.write(w); err != nil {
+		if err := f.write(w, exemplars); err != nil {
 			return err
 		}
 	}
@@ -267,7 +281,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // write renders one family.
-func (f *family) write(w io.Writer) error {
+func (f *family) write(w io.Writer, exemplars bool) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
 		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
 		return err
@@ -288,11 +302,11 @@ func (f *family) write(w io.Writer) error {
 		var err error
 		switch f.kind {
 		case kindCounter:
-			err = writeSample(w, f.name, f.labels, ch.vals, "", "", ch.c.Value())
+			err = writeSample(w, f.name, f.labels, ch.vals, "", "", ch.c.Value(), nil)
 		case kindGauge:
-			err = writeSample(w, f.name, f.labels, ch.vals, "", "", ch.g.Value())
+			err = writeSample(w, f.name, f.labels, ch.vals, "", "", ch.g.Value(), nil)
 		case kindHistogram:
-			err = ch.h.write(w, f.name, f.labels, ch.vals)
+			err = ch.h.write(w, f.name, f.labels, ch.vals, exemplars)
 		}
 		if err != nil {
 			return err
@@ -302,9 +316,10 @@ func (f *family) write(w io.Writer) error {
 }
 
 // writeSample renders one sample line. suffix extends the family name
-// (histogram _bucket/_sum/_count); extraLabel, when non-empty, is an
-// "le" pair appended after the family labels with extraValue.
-func writeSample(w io.Writer, name string, labels, vals []string, suffix, extraValue string, v float64) error {
+// (histogram _bucket/_sum/_count); extraValue, when non-empty, is an
+// "le" pair appended after the family labels; ex, when non-nil, appends
+// the bucket's exemplar suffix.
+func writeSample(w io.Writer, name string, labels, vals []string, suffix, extraValue string, v float64, ex *Exemplar) error {
 	var b strings.Builder
 	b.WriteString(name)
 	b.WriteString(suffix)
@@ -331,6 +346,12 @@ func writeSample(w io.Writer, name string, labels, vals []string, suffix, extraV
 	}
 	b.WriteByte(' ')
 	b.WriteString(FormatFloat(v))
+	if ex != nil {
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(escapeLabel(ex.TraceID))
+		b.WriteString(`"} `)
+		b.WriteString(FormatFloat(ex.Value))
+	}
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -24,6 +24,26 @@ import (
 // increment used by splitmix64 to space successive stream states.
 const golden = 0x9E3779B97F4A7C15
 
+// Canonical sub-stream names. Partitioned streams are keyed by name (not
+// registration order), so these constants are documentation plus typo
+// insurance: every consumer of a shared stream family must name the same
+// stream to share it — and must NOT name these to stay isolated from them.
+const (
+	// StreamWorkload drives arrival times, per-query costs, and shard
+	// picks. Nothing else may draw from it: the reproducibility contract
+	// is that policy, chaos, and observability cannot perturb workload.
+	StreamWorkload = "workload"
+	// StreamDrift walks shard popularity between windows.
+	StreamDrift = "drift"
+	// StreamChaos feeds failure injection.
+	StreamChaos = "chaos"
+	// StreamTrace feeds trace sampling decisions and trace-ID minting.
+	// Turning tracing on or off, or changing the sample rate, only
+	// advances this stream — offered load and arrival sequences stay
+	// bit-identical.
+	StreamTrace = "trace"
+)
+
 // Mix64 is the splitmix64 finalizer: an avalanching bijection on uint64.
 // Every derived seed in the module funnels through it so that structured
 // inputs (small integers, stride sweeps) come out statistically unrelated.

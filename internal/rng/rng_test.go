@@ -150,3 +150,43 @@ func TestPartitionedStreamIsolation(t *testing.T) {
 		t.Fatal("base seeds 7 and 8 produced identical \"workload\" streams")
 	}
 }
+
+// TestTraceStreamCannotPerturbSiblings is the trace sampler's isolation
+// contract: however much the tracer draws from StreamTrace — nothing,
+// a little, or a lot — the workload, drift, and chaos sequences stay
+// bit-identical. This is what lets trace sampling be toggled without
+// changing the simulated world (see des.TestPolicyCannotPerturbWorkload
+// for the end-to-end version).
+func TestTraceStreamCannotPerturbSiblings(t *testing.T) {
+	names := []string{StreamWorkload, StreamDrift, StreamChaos}
+	drain := func(traceDraws int) map[string][]uint64 {
+		p := NewPartitioned(42)
+		out := make(map[string][]uint64, len(names))
+		tr := p.Stream(StreamTrace)
+		for i := 0; i < traceDraws; i++ {
+			tr.Uint64()
+		}
+		for _, name := range names {
+			r := p.Stream(name)
+			seq := make([]uint64, 24)
+			for i := range seq {
+				seq[i] = r.Uint64()
+				// Interleave more trace draws between sibling draws.
+				if traceDraws > 0 {
+					tr.Uint64()
+				}
+			}
+			out[name] = seq
+		}
+		return out
+	}
+	quiet, noisy := drain(0), drain(1000)
+	for _, name := range names {
+		for i := range quiet[name] {
+			if quiet[name][i] != noisy[name][i] {
+				t.Fatalf("stream %q perturbed by trace draws at %d: %d vs %d",
+					name, i, quiet[name][i], noisy[name][i])
+			}
+		}
+	}
+}
