@@ -26,6 +26,16 @@
 //	              every path, through every module-local callee
 //	purity        //rexlint:pure functions proven free of side effects by
 //	              bottom-up effect summaries
+//	streamflow    RNG stream isolation: values from rng.Partitioned.Stream
+//	              carry their stream name as taint; functions declare the
+//	              streams they draw or pass along (//rexlint:stream) and
+//	              stream names must be named constants
+//	detflow       map/select-ordered values must be sorted or canonicalized
+//	              before reaching a //rexlint:detsink (journal writes,
+//	              Prometheus exposition, fixed-format reports)
+//	nonneg        //rexlint:nonneg counters proven non-negative on every
+//	              path, with //rexlint:requires preconditions checked at
+//	              call sites and callee deltas folded through summaries
 //
 // Unused //rexlint:ignore and //rexlint:transfer directives are themselves
 // errors (pseudo-analyzers "rexlint" and "sharecheck"), so stale waivers
@@ -65,6 +75,7 @@ func main() {
 	changedBase := flag.String("changed-base", "origin/main", "base ref for -changed")
 	baselinePath := flag.String("baseline", "", "baseline file of accepted diagnostics; only findings not in it fail the run")
 	writeBaseline := flag.String("write-baseline", "", "write current diagnostics to this baseline file and exit 0")
+	allowNewAnalyzer := flag.Bool("baseline-allow-new-analyzer", false, "let -write-baseline absorb findings from analyzers absent from the existing baseline")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: rexlint [-list] [-json] [-tags t1,t2] [-changed [-changed-base ref]] [-baseline file] [-write-baseline file] <package patterns>\nexample: go run ./cmd/rexlint ./...\n")
 		flag.PrintDefaults()
@@ -74,16 +85,18 @@ func main() {
 		list: *list, jsonOut: *jsonOut, tags: *tags,
 		changed: *changed, changedBase: *changedBase,
 		baselinePath: *baselinePath, writeBaseline: *writeBaseline,
+		allowNewAnalyzer: *allowNewAnalyzer,
 	}, flag.Args()))
 }
 
 type options struct {
-	list, jsonOut bool
-	tags          string
-	changed       bool
-	changedBase   string
-	baselinePath  string
-	writeBaseline string
+	list, jsonOut    bool
+	tags             string
+	changed          bool
+	changedBase      string
+	baselinePath     string
+	writeBaseline    string
+	allowNewAnalyzer bool
 }
 
 // jsonDiag is the machine-readable diagnostic record emitted by -json.
@@ -171,6 +184,17 @@ func run(opts options, patterns []string) int {
 	}
 
 	if opts.writeBaseline != "" {
+		// Rewriting an existing baseline must not silently accept every
+		// finding of an analyzer added in the same change: that would
+		// ratchet in the new analyzer with zero enforced findings exactly
+		// where it was meant to bite.
+		if old, err := lint.LoadBaseline(opts.writeBaseline); err == nil && !opts.allowNewAnalyzer {
+			if fresh := lint.NewAnalyzerNames(old, all); len(fresh) > 0 {
+				fmt.Fprintf(os.Stderr, "rexlint: refusing to absorb findings from analyzers not in %s: %s\nrerun with -baseline-allow-new-analyzer to accept them deliberately\n",
+					opts.writeBaseline, strings.Join(fresh, ", "))
+				return 2
+			}
+		}
 		f, err := os.Create(opts.writeBaseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rexlint:", err)

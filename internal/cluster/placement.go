@@ -29,8 +29,8 @@ type Placement struct {
 	on   [][]ShardID // per machine: hosted shards (unordered)
 	pos  []int       // per shard: index within on[home[s]]
 
-	unassigned int // number of shards with home == Unassigned
-	vacant     int // number of machines hosting no shards
+	unassigned int //rexlint:nonneg — number of shards with home == Unassigned
+	vacant     int //rexlint:nonneg — number of machines hosting no shards
 	// groups[m] counts shards per anti-affinity group on machine m; nil
 	// until a grouped shard lands there.
 	groups []map[int]int
@@ -199,6 +199,7 @@ func (p *Placement) place(s ShardID, m MachineID) {
 	p.load[m] += sh.Load
 	p.pos[s] = len(p.on[m])
 	if len(p.on[m]) == 0 {
+		//rexlint:ignore nonneg a machine with an empty hosted list is counted in vacant (MustInvariants recomputes both)
 		p.vacant--
 	}
 	p.on[m] = append(p.on[m], s)
@@ -208,6 +209,7 @@ func (p *Placement) place(s ShardID, m MachineID) {
 		}
 		p.groups[m][sh.Group]++
 	}
+	//rexlint:ignore nonneg place's caller checked home[s] == Unassigned, so s is counted in unassigned
 	p.unassigned--
 }
 

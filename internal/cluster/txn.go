@@ -138,6 +138,7 @@ func (p *Placement) undoUnplace(r *txnRec) {
 	}
 	p.pos[r.s] = r.pos
 	if n == 0 {
+		//rexlint:ignore nonneg the machine was vacant after the recorded unplace being reversed, so vacant counts it
 		p.vacant--
 	}
 	p.home[r.s] = r.m
@@ -150,5 +151,6 @@ func (p *Placement) undoUnplace(r *txnRec) {
 		}
 		p.groups[r.m][g]++
 	}
+	//rexlint:ignore nonneg undoUnplace reverses an unplace that incremented unassigned
 	p.unassigned--
 }

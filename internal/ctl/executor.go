@@ -203,8 +203,8 @@ type Executor struct {
 	moves    []moveState
 	reserved []vec.Vec // per machine: static demand of in-flight moves
 	airborne map[cluster.ShardID]bool
-	inflight int
-	pending  int // moves not yet terminal
+	inflight int //rexlint:nonneg
+	pending  int //rexlint:nonneg — moves not yet terminal
 	counters ExecCounters
 
 	// Telemetry, attached by the controller (all may be nil). round tags
@@ -429,6 +429,7 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 		st := &e.moves[best]
 		mv := st.mv
 		e.release(mv)
+		//rexlint:ignore nonneg best indexes a MoveCopying entry, and statecheck proves each reaches MoveCopying via start (inflight++) exactly once
 		e.inflight--
 		delete(e.airborne, mv.S)
 		copySecs := st.finishAt - st.startedAt
@@ -470,6 +471,7 @@ func (e *Executor) complete(live *cluster.Placement, now float64) error {
 			live.MustInvariants("ctl executor commit")
 		}
 		st.status = MoveDone
+		//rexlint:ignore nonneg pending counts non-terminal moves and this transition to MoveDone is the move's only terminal edge (statecheck)
 		e.pending--
 		e.counters.Completed++
 		if e.m != nil {

@@ -64,7 +64,7 @@ type machine struct {
 
 	ring []leg // power-of-two capacity circular buffer
 	head int
-	n    int
+	n    int //rexlint:nonneg
 }
 
 // addRef records an outbound copy's identity alongside copies++.
@@ -128,6 +128,7 @@ func (m *machine) front() *leg { return &m.ring[m.head] }
 // pop removes the head leg. The queue must be non-empty.
 //
 //rexlint:noalloc
+//rexlint:requires n>=1
 func (m *machine) pop() leg {
 	l := m.ring[m.head]
 	m.head = (m.head + 1) & (len(m.ring) - 1)

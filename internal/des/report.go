@@ -79,6 +79,8 @@ func (s *Sim) Report() Report {
 // Render formats the report as a fixed-width table. Every float uses
 // six-decimal fixed notation, so for a fixed seed the output is
 // byte-identical across runs and GOMAXPROCS values — CI diffs it.
+//
+//rexlint:detsink fixed-format report
 func (r Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "phase      queries  dropped      mean       p50       p99      p999       max\n")

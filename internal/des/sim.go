@@ -125,7 +125,7 @@ func (cfg *Config) normalize() error {
 // query is one in-flight query: its arrival time and outstanding legs.
 type query struct {
 	arrive float64
-	remain int32
+	remain int32 //rexlint:nonneg
 }
 
 // Sim is the discrete-event cluster simulator. It implements ctl.Clock
@@ -173,7 +173,7 @@ type Sim struct {
 
 	// Migration overlap accounting for phase classification.
 	copiesStarted int
-	activeCopies  int
+	activeCopies  int //rexlint:nonneg
 	lastCopyEnd   float64
 
 	// LoadSource accumulators, reset by Next.
@@ -207,6 +207,8 @@ type Sim struct {
 // placement is read once (assignment, machine speeds, shard base loads)
 // and never written: the simulator keeps its own routing map and follows
 // the live placement through MoveObserver commits.
+//
+//rexlint:stream workload drift
 func New(cfg Config, p *cluster.Placement, tr *workload.Trace) (*Sim, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -278,6 +280,8 @@ func New(cfg Config, p *cluster.Placement, tr *workload.Trace) (*Sim, error) {
 // builds the query tracer over the isolated "trace" rng stream; sampled
 // spans go to the journal and, with a registry attached, the rex_trace_*
 // families count them.
+//
+//rexlint:stream trace
 func (s *Sim) AttachObs(reg *obs.Registry, j *obs.Journal) {
 	if reg != nil {
 		s.m = newSimMetrics(reg)
@@ -298,7 +302,9 @@ func (s *Sim) Tracer() *obs.Tracer { return s.tracer }
 // Chaos returns the dedicated chaos sub-stream, for wiring deterministic
 // copy-failure injection into ctl.ExecConfig.Failure without perturbing
 // workload generation.
-func (s *Sim) Chaos() *rand.Rand { return s.streams.Stream("chaos") }
+//
+//rexlint:stream chaos
+func (s *Sim) Chaos() *rand.Rand { return s.streams.Stream(rng.StreamChaos) }
 
 // Now returns the current simulated time. Safe for concurrent use.
 func (s *Sim) Now() float64 {
@@ -380,6 +386,7 @@ func (s *Sim) MoveStarted(mv plan.Move, ref ctl.MoveRef, at, eta float64) {
 func (s *Sim) MoveFinished(mv plan.Move, ref ctl.MoveRef, at float64, committed bool) {
 	s.machines[mv.From].copies--
 	s.machines[mv.From].dropRef(ref)
+	//rexlint:ignore nonneg every MoveFinished pairs with a prior MoveStarted on the single observer goroutine
 	s.activeCopies--
 	if at > s.lastCopyEnd {
 		s.lastCopyEnd = at
@@ -558,12 +565,14 @@ func (s *Sim) startService(t float64, mi int32) {
 // query, and starts the next queued leg.
 func (s *Sim) legDoneEvent(t float64, mi int32) {
 	m := &s.machines[mi]
+	//rexlint:ignore nonneg the event heap holds one KindLegDone per startLeg, so the popped machine is non-empty
 	l := m.pop()
 	l.state = LegDone
 	if l.tr != nil {
 		s.traceLegDone(t, &l, m)
 	}
 	q := &s.qs[l.q]
+	//rexlint:ignore nonneg remain was set to the leg count at arrival and each leg completes exactly once (statecheck pins LegRunning -> LegDone)
 	q.remain--
 	if q.remain == 0 {
 		s.complete(t, l.q)

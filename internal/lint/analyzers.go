@@ -28,6 +28,13 @@ import "strings"
 //   - alloccheck and purity guard the whole module: both activate only on
 //     functions that opt in via //rexlint:noalloc / //rexlint:pure, so
 //     un-annotated packages cost nothing.
+//   - streamflow guards the whole module: RNG stream isolation is a global
+//     property and the taint follows values across package boundaries.
+//   - detflow guards the deterministic-output packages (obs, des, ctl),
+//     where journal writes, expositions, and reports must be
+//     byte-reproducible.
+//   - nonneg guards the whole module: it activates only on fields annotated
+//     //rexlint:nonneg, so un-annotated packages cost nothing.
 //
 // The scope lives here, in the driver policy, rather than inside the
 // analyzers, so the test harness can exercise each analyzer on fixtures
@@ -103,9 +110,25 @@ func Analyzers(modPath string) []*Analyzer {
 		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
 	}
 
+	streamFlow := *StreamFlow
+	streamFlow.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
+	detFlow := *DetFlow
+	detFlow.AppliesTo = inModule(
+		"/internal/obs", "/internal/des", "/internal/ctl",
+	)
+
+	nonNeg := *NonNeg
+	nonNeg.AppliesTo = func(pkgPath string) bool {
+		return pkgPath == modPath || strings.HasPrefix(pkgPath, modPath+"/")
+	}
+
 	return []*Analyzer{
 		&noGlobalRand, &mapOrder, &floatEq, &errIgnore, &metricName,
 		&lockCheck, &stateCheck, &clockPurity, &leakCheck,
 		&shareCheck, &allocCheck, &purity,
+		&streamFlow, &detFlow, &nonNeg,
 	}
 }

@@ -90,6 +90,51 @@ func WriteBaseline(w io.Writer, diags []Diagnostic) error {
 	return nil
 }
 
+// Analyzers returns the sorted set of analyzer names with at least one
+// accepted entry in the baseline.
+func (b *Baseline) Analyzers() []string {
+	if b == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for k := range b.counts {
+		parts := strings.SplitN(k, "\x00", 3)
+		if len(parts) == 3 && !seen[parts[1]] {
+			seen[parts[1]] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewAnalyzerNames returns the sorted analyzer names that report in diags
+// but have no entry in the old baseline. Rewriting a baseline would
+// silently accept every finding of an analyzer added in the same change,
+// defeating the ratchet for exactly the code the change touches — callers
+// use this to refuse that rewrite unless explicitly allowed.
+func NewAnalyzerNames(old *Baseline, diags []Diagnostic) []string {
+	known := make(map[string]bool)
+	for _, name := range old.Analyzers() {
+		known[name] = true
+	}
+	fresh := make(map[string]bool)
+	for _, d := range diags {
+		if !known[d.Analyzer] && !fresh[d.Analyzer] {
+			fresh[d.Analyzer] = true
+		}
+	}
+	out := make([]string, 0, len(fresh))
+	for name := range fresh {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Filter partitions diags into those not absorbed by the baseline (returned
 // in order) and reports how many were absorbed. Each baseline entry absorbs
 // at most its recorded count of matching diagnostics.

@@ -59,6 +59,53 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBaselineNewAnalyzerGuard pins the -write-baseline refusal semantics:
+// rewriting a baseline must not silently absorb findings from an analyzer
+// that has no entry in the existing file — exactly the analyzer a same-PR
+// change would be trying to ratchet in with zero enforced findings.
+func TestBaselineNewAnalyzerGuard(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteBaseline(&buf, []Diagnostic{
+		bdiag("a.go", "alloccheck", "allocates: make", 10),
+		bdiag("b.go", "purity", "mutates its receiver", 5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := ReadBaseline(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := old.Analyzers(); len(got) != 2 || got[0] != "alloccheck" || got[1] != "purity" {
+		t.Fatalf("Analyzers() = %v, want [alloccheck purity]", got)
+	}
+
+	current := []Diagnostic{
+		bdiag("a.go", "alloccheck", "allocates: append", 11), // known analyzer, new finding: fine
+		bdiag("c.go", "streamflow", "draws undeclared stream", 3),
+		bdiag("c.go", "nonneg", "decrement at proven lower bound 0", 9),
+		bdiag("d.go", "nonneg", "decrement cannot be proven", 4), // repeated analyzer reported once
+	}
+	fresh := NewAnalyzerNames(old, current)
+	if len(fresh) != 2 || fresh[0] != "nonneg" || fresh[1] != "streamflow" {
+		t.Fatalf("NewAnalyzerNames = %v, want [nonneg streamflow]", fresh)
+	}
+
+	// Only known analyzers reporting → nothing to refuse.
+	if fresh := NewAnalyzerNames(old, current[:1]); len(fresh) != 0 {
+		t.Fatalf("NewAnalyzerNames = %v, want none", fresh)
+	}
+
+	// An empty baseline (first write) knows no analyzers; callers guard on
+	// the file existing, but the helper itself reports everything new.
+	empty, err := ReadBaseline(strings.NewReader("# empty\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Analyzers(); len(got) != 0 {
+		t.Fatalf("empty Analyzers() = %v, want none", got)
+	}
+}
+
 // TestBaselineRejectsMalformedLines pins that a corrupt baseline fails
 // loudly instead of silently accepting everything.
 func TestBaselineRejectsMalformedLines(t *testing.T) {

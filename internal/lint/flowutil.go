@@ -85,6 +85,24 @@ func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
 	})
 }
 
+// inspectHeader visits n like inspectShallow but does not descend into
+// nested statement bodies (blocks, case and comm clauses): when n is a
+// compound statement stored whole in a CFG block — a RangeStmt in its loop
+// head — the body statements live in their own blocks and visiting them
+// here would process them twice.
+func inspectHeader(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == n {
+			return fn(x)
+		}
+		switch x.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause, *ast.FuncLit:
+			return false
+		}
+		return fn(x)
+	})
+}
+
 // funcBodies yields every function body in the file together with its
 // declaration (nil for function literals): top-level FuncDecls first, then
 // any nested FuncLits, each exactly once.

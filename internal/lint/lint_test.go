@@ -26,6 +26,9 @@ func TestAnalyzers(t *testing.T) {
 		{lint.ShareCheck, "sharecheck"},
 		{lint.AllocCheck, "alloccheck"},
 		{lint.Purity, "purity"},
+		{lint.StreamFlow, "streamflow"},
+		{lint.DetFlow, "detflow"},
+		{lint.NonNeg, "nonneg"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -78,6 +81,14 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"alloccheck", "rexchange/cmd/rexd", true},
 		{"purity", "rexchange/internal/vec", true},
 		{"purity", "rexchange/internal/obs", true},
+		{"streamflow", "rexchange/internal/des", true},
+		{"streamflow", "rexchange/cmd/rexd", true},
+		{"detflow", "rexchange/internal/obs", true},
+		{"detflow", "rexchange/internal/des", true},
+		{"detflow", "rexchange/internal/ctl", true},
+		{"detflow", "rexchange/internal/core", false},
+		{"nonneg", "rexchange/internal/cluster", true},
+		{"nonneg", "rexchange/internal/lint", true},
 	}
 	for _, tc := range cases {
 		a, ok := byName[tc.analyzer]

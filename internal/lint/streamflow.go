@@ -1,0 +1,29 @@
+package lint
+
+// StreamFlow statically re-proves the RNG stream-isolation contract the
+// simulator's reproducibility rests on: every value produced by a
+// //rexlint:streamsource function (rng.Partitioned.Stream) carries its
+// stream name as interprocedural taint, and a function may draw from or
+// pass along a stream only when its doc comment declares ownership:
+//
+//	//rexlint:stream workload drift
+//
+// Function literals inherit the enclosing declaration. Stream names must be
+// named constants — a string-literal or dynamic name is itself a finding,
+// so ad-hoc stream keys cannot reappear. Hand-offs (passing a tainted
+// *rand.Rand to another function) require the callee to declare the stream;
+// violations carry the blame chain ("via a → b") of the value's journey.
+var StreamFlow = &Analyzer{
+	Name: "streamflow",
+	Doc:  "require functions to declare (//rexlint:stream) every RNG sub-stream they draw from or pass along; stream names must be named constants",
+	Run:  func(pass *Pass) error { return runValueFlow(pass, vfStream) },
+}
+
+// runValueFlow reports the engine findings of one kind for the package
+// under analysis (shared by streamflow, detflow, and nonneg).
+func runValueFlow(pass *Pass, kind vfKind) error {
+	for _, f := range pass.Prog.valueFindings(pass.pkg(), kind) {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+	return nil
+}

@@ -146,6 +146,9 @@ type Program struct {
 	ignores   map[*Package]*ignoreSet
 	transfers map[*Package]*transferSet
 	owned     map[*types.TypeName]bool
+	// vflow is the lazily built value-flow context (valuesolve.go), shared
+	// by the streamflow/detflow/nonneg analyzers.
+	vflow *valueFlowInfo
 }
 
 // NewProgram builds the call graph and computes every function summary to

@@ -245,6 +245,8 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.get(l
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4), deterministically: families sorted
 // by name, series sorted by label values.
+//
+//rexlint:detsink Prometheus exposition
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	return r.writePrometheus(w, false)
 }
@@ -254,6 +256,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // `# {trace_id="…"} value` suffixes). Kept behind its own entry point —
 // classic 0.0.4 scrapers may reject exemplar suffixes, so callers opt in
 // explicitly (rexsim's -metrics-exemplars flag).
+//
+//rexlint:detsink Prometheus exposition
 func (r *Registry) WritePrometheusExemplars(w io.Writer) error {
 	return r.writePrometheus(w, true)
 }

@@ -185,6 +185,8 @@ type Tracer struct {
 // NewTracer builds a tracer sampling at the given rate (0 disables, 1
 // samples everything) whose IDs come from r — by contract the
 // rng.StreamTrace sub-stream — and whose spans go to j.
+//
+//rexlint:stream trace
 func NewTracer(r *rand.Rand, rate float64, j *Journal) *Tracer {
 	if rate < 0 {
 		rate = 0

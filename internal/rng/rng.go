@@ -131,6 +131,12 @@ func NewPartitioned(base int64) *Partitioned {
 // Stream returns the subsystem's RNG, creating it on first use. The same
 // (base seed, name) pair always yields a stream with the same sequence,
 // regardless of which other streams exist or how much they have drawn.
+//
+// rexlint's streamflow analyzer treats the returned value as tainted with
+// the stream name: callers must pass a named constant and declare
+// ownership with //rexlint:stream.
+//
+//rexlint:streamsource
 func (p *Partitioned) Stream(name string) *rand.Rand {
 	p.mu.Lock()
 	defer p.mu.Unlock()
